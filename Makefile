@@ -1,0 +1,32 @@
+.PHONY: all build test bench bench-tables bench-micro examples doc clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+test-force:
+	dune runtest --force --no-buffer
+
+bench:
+	dune exec bench/main.exe
+
+bench-tables:
+	dune exec bench/main.exe -- tables
+
+bench-micro:
+	dune exec bench/main.exe -- micro
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/ivhs.exe
+	dune exec examples/awacs.exe
+	dune exec examples/failure_injection.exe
+	dune exec examples/generalized.exe
+	dune exec examples/deployment.exe
+
+clean:
+	dune clean

@@ -1,0 +1,55 @@
+(* E12 -- client cache management ablation (SIGMOD'95 lineage): hit ratio
+   and mean latency per policy, on matched and mismatched broadcast
+   frequencies. *)
+
+module Multidisk = Pindisk.Multidisk
+module Cache = Pindisk_sim.Cache
+
+let matched =
+  (* Broadcast frequencies agree with client access skew. *)
+  lazy
+    (Multidisk.program
+       [
+         { Multidisk.frequency = 4; files = [ (0, 1); (1, 1) ] };
+         { Multidisk.frequency = 2; files = [ (2, 1); (3, 1) ] };
+         { Multidisk.frequency = 1; files = List.init 8 (fun i -> (i + 4, 1)) };
+       ])
+
+let mismatched =
+  (* Partially matched: the two hottest pages ARE on the fast disk (cheap
+     to miss), but the next-hottest sit on the slow disk. Caching by
+     access probability wastes slots on pages 0-1; caching by P/X keeps
+     the hot-but-rare pages 2-5. *)
+  lazy
+    (Multidisk.program
+       [
+         { Multidisk.frequency = 8; files = [ (0, 1); (1, 1) ] };
+         { Multidisk.frequency = 1; files = List.init 10 (fun i -> (i + 2, 1)) };
+       ])
+
+let run () =
+  Format.printf
+    "== E12 / client cache policies (Zipf 0.95 accesses, 12 pages, 8000 \
+     accesses) ==@.";
+  Format.printf "  %-12s %-8s | %9s %13s@." "broadcast" "policy" "hit-ratio"
+    "mean latency";
+  List.iter
+    (fun (label, program) ->
+      List.iter
+        (fun policy ->
+          let s =
+            Cache.simulate ~program:(Lazy.force program) ~cache_slots:3 ~policy
+              ~theta:0.95 ~accesses:8000 ~seed:3 ()
+          in
+          Format.printf "  %-12s %-8s | %8.1f%% %13.2f@." label
+            (Format.asprintf "%a" Cache.pp_policy policy)
+            (100.0 *. Cache.hit_ratio s)
+            s.Cache.mean_latency)
+        [ Cache.Lru; Cache.Lfu; Cache.Pix ])
+    [ ("matched", matched); ("mismatched", mismatched) ];
+  Format.printf
+    "  (with matched frequencies any policy does; in the mismatched row \
+     the@.   hottest pages are broadcast so often that missing them is \
+     nearly free --@.   PIX, caching by P/X, spends its slots on \
+     hot-but-rare pages and wins on@.   latency despite a LOWER hit \
+     ratio: the classic broadcast-disk caching@.   result.)@.@."

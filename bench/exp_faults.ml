@@ -1,0 +1,65 @@
+(* E9 -- fault-model ablation: deadline-miss ratios under iid (Bernoulli)
+   and bursty (Gilbert-Elliott) channels, AIDA pinwheel program vs flat
+   program, across loss rates. *)
+
+module File_spec = Pindisk.File_spec
+module Program = Pindisk.Program
+module Fault = Pindisk_sim.Fault
+module Experiment = Pindisk_sim.Experiment
+
+let files =
+  [
+    File_spec.make ~name:"hot" ~id:0 ~blocks:2 ~latency:4 ~tolerance:2 ();
+    File_spec.make ~name:"warm" ~id:1 ~blocks:4 ~latency:12 ~tolerance:1 ();
+    File_spec.make ~name:"cold" ~id:2 ~blocks:6 ~latency:30 ~tolerance:1 ();
+  ]
+
+let run () =
+  Format.printf
+    "== E9 / fault-model ablation: deadline-miss ratio (2000 clients per \
+     cell) ==@.";
+  let bandwidth, pinwheel =
+    match Program.auto files with Some r -> r | None -> assert false
+  in
+  let flat =
+    Program.flat (List.map (fun f -> (f.File_spec.id, f.File_spec.blocks)) files)
+  in
+  let bernoulli p ~seed = Fault.bernoulli ~p ~seed in
+  let burst p ~seed =
+    (* Bursty channel with the same stationary loss rate p. *)
+    Fault.burst ~p_good_to_bad:0.05 ~p_bad_to_good:0.2 ~loss_good:0.0
+      ~loss_bad:(p /. 0.2) ~seed
+  in
+  Format.printf "  (programs at %d blocks/sec; deadline = B*T per file)@." bandwidth;
+  Format.printf
+    "  (pinwheel/AIDA uses %s of the channel and leaves the rest for other \
+     traffic;@.   the flat baseline burns 100%% of it on these three \
+     files)@."
+    (Pindisk_util.Q.to_string
+       (Pindisk_pinwheel.Schedule.utilization (Program.schedule pinwheel)));
+  Format.printf "  %-6s %-6s | %-17s | %-17s@." "" "" "iid channel" "bursty channel";
+  Format.printf "  %-6s %-6s | %8s %8s | %8s %8s@." "file" "loss" "AIDA" "flat"
+    "AIDA" "flat";
+  List.iter
+    (fun f ->
+      List.iter
+        (fun p ->
+          let deadline = File_spec.window f ~bandwidth in
+          let miss fault program =
+            Experiment.run ~program ~file:f.File_spec.id ~needed:f.File_spec.blocks
+              ~deadline ~fault ~trials:2000 ~seed:77 ()
+            |> Experiment.miss_ratio
+          in
+          Format.printf "  %-6s %5.0f%% | %7.1f%% %7.1f%% | %7.1f%% %7.1f%%@."
+            f.File_spec.name (100.0 *. p)
+            (100.0 *. miss (bernoulli p) pinwheel)
+            (100.0 *. miss (bernoulli p) flat)
+            (100.0 *. miss (burst p) pinwheel)
+            (100.0 *. miss (burst p) flat))
+        [ 0.02; 0.1; 0.2 ])
+    files;
+  Format.printf
+    "  (AIDA's provisioned redundancy absorbs iid losses almost \
+     completely; bursts@.   are harder -- consecutive blocks die together \
+     -- yet the pinwheel program@.   still dominates the flat baseline on \
+     the tight-deadline files.)@.@."

@@ -1,0 +1,38 @@
+(* E1 -- Figure 7: worst-case delays versus number of errors, with and
+   without IDA, on the paper's own toy programs (Figures 5 and 6). *)
+
+module Program = Pindisk.Program
+module Adversary = Pindisk_sim.Adversary
+
+let layout = [ (0, 0); (1, 0); (0, 1); (0, 2); (1, 1); (0, 3); (1, 2); (0, 4) ]
+let flat = Program.of_layout layout ~capacities:[ (0, 5); (1, 3) ]
+let ida = Program.of_layout layout ~capacities:[ (0, 10); (1, 6) ]
+
+let paper_ida = [| 0; 3; 4; 6; 7; 8 |]
+let paper_flat = [| 0; 8; 16; 24; 32; 40 |]
+
+let run () =
+  Format.printf
+    "== E1 / Figure 7: worst-case delay vs errors (toy disk: A=5, B=3 \
+     blocks, period 8; AIDA: A->10, B->6) ==@.";
+  Format.printf "  %-6s | %-19s | %-19s | %s@." "errors" "with IDA (ours)"
+    "without IDA (ours)" "paper (IDA / no-IDA)";
+  Format.printf "  %-6s | %6s %6s %5s | %6s %6s %5s |@." "" "A" "B" "worst" "A"
+    "B" "worst";
+  for r = 0 to 5 do
+    let d p file needed = Adversary.worst_case_delay p ~file ~needed ~errors:r in
+    let ai = d ida 0 5 and bi = d ida 1 3 in
+    let af = d flat 0 5 and bf = d flat 1 3 in
+    Format.printf "  %-6d | %6d %6d %5d | %6d %6d %5d |  %6d / %6d@." r ai bi
+      (max ai bi) af bf (max af bf) paper_ida.(r) paper_flat.(r)
+  done;
+  Format.printf
+    "  Without-IDA column matches the paper exactly (r*tau = 8r, Lemma 1 \
+     tight).@.";
+  Format.printf
+    "  With-IDA: same shape (sublinear, ~tau/Delta times smaller); the \
+     paper's@.";
+  Format.printf
+    "  informal estimates exceed its own Lemma-2 bound at r=1 (3 > \
+     1*Delta_A=2),@.";
+  Format.printf "  so no consistent definition reproduces them exactly.@.@."

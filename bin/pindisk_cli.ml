@@ -1,0 +1,577 @@
+(* pindisk: design and inspect fault-tolerant real-time broadcast disks
+   from the command line.
+
+   Subcommands:
+     schedule   -- schedule a raw pinwheel task system
+     bandwidth  -- bandwidth bounds for a set of broadcast files
+     program    -- build and print a broadcast program
+     convert    -- compile a generalized broadcast condition to nice
+                   pinwheel conditions
+     simulate   -- stochastic retrieval simulation on a program
+
+   File syntax (repeatable -f): NAME:BLOCKS:LATENCY[:TOLERANCE]
+   Task syntax (repeatable -t): A/B  (task needs A of every B slots)
+   Condition syntax: M:D0,D1,...  (size M, latency vector D). *)
+
+open Cmdliner
+module P = Pindisk_pinwheel
+module Task = P.Task
+module Schedule = P.Schedule
+module Scheduler = P.Scheduler
+module File_spec = Pindisk.File_spec
+module Bandwidth = Pindisk.Bandwidth
+module Program = Pindisk.Program
+module Bc = Pindisk_algebra.Bc
+module Convert = Pindisk_algebra.Convert
+module Q = Pindisk_util.Q
+
+let fail fmt = Format.kasprintf (fun s -> `Error (false, s)) fmt
+
+(* --verbosity / -v from logs.cli, honoured by every subcommand. *)
+let setup_logs =
+  let setup level =
+    Logs.set_level level;
+    Logs.set_reporter (Logs_fmt.reporter ())
+  in
+  Term.(const setup $ Logs_cli.level ())
+
+(* ---------------- argument parsing ---------------- *)
+
+let parse_task i s =
+  match String.split_on_char '/' s with
+  | [ a; b ] -> (
+      match (int_of_string_opt a, int_of_string_opt b) with
+      | Some a, Some b -> (
+          match Task.make ~id:i ~a ~b with
+          | t -> Ok t
+          | exception Invalid_argument e -> Error e)
+      | _ -> Error (Printf.sprintf "bad task %S (want A/B)" s))
+  | _ -> Error (Printf.sprintf "bad task %S (want A/B)" s)
+
+let parse_file i s =
+  match String.split_on_char ':' s with
+  | name :: blocks :: latency :: rest -> (
+      let tolerance =
+        match rest with
+        | [] -> Some 0
+        | [ t ] -> int_of_string_opt t
+        | _ -> None
+      in
+      match (int_of_string_opt blocks, int_of_string_opt latency, tolerance) with
+      | Some blocks, Some latency, Some tolerance -> (
+          match File_spec.make ~name ~id:i ~blocks ~latency ~tolerance () with
+          | f -> Ok f
+          | exception Invalid_argument e -> Error e)
+      | _ -> Error (Printf.sprintf "bad file %S" s))
+  | _ -> Error (Printf.sprintf "bad file %S (want NAME:BLOCKS:LATENCY[:TOL])" s)
+
+let parse_bc s =
+  match String.split_on_char ':' s with
+  | [ m; ds ] -> (
+      let d = String.split_on_char ',' ds |> List.map int_of_string_opt in
+      match (int_of_string_opt m, List.for_all Option.is_some d) with
+      | Some m, true -> (
+          match Bc.make ~file:0 ~m ~d:(List.map Option.get d) with
+          | bc -> Ok bc
+          | exception Invalid_argument e -> Error e)
+      | _ -> Error (Printf.sprintf "bad condition %S" s))
+  | _ -> Error (Printf.sprintf "bad condition %S (want M:D0,D1,...)" s)
+
+let tasks_arg =
+  let doc = "A pinwheel task, as A/B (at least A of every B slots)." in
+  Arg.(non_empty & opt_all string [] & info [ "t"; "task" ] ~docv:"A/B" ~doc)
+
+let files_arg =
+  let doc = "A broadcast file, as NAME:BLOCKS:LATENCY[:TOLERANCE]." in
+  Arg.(
+    non_empty & opt_all string []
+    & info [ "f"; "file" ] ~docv:"NAME:M:T[:R]" ~doc)
+
+let collect parse l =
+  let rec go i acc = function
+    | [] -> Ok (List.rev acc)
+    | s :: rest -> (
+        match parse i s with
+        | Ok v -> go (i + 1) (v :: acc) rest
+        | Error e -> Error e)
+  in
+  go 0 [] l
+
+(* ---------------- schedule ---------------- *)
+
+let algorithm_arg =
+  let alts =
+    [
+      ("auto", Scheduler.Auto);
+      ("sa", Scheduler.Sa);
+      ("sx", Scheduler.Sx);
+      ("sr", Scheduler.Sr);
+      ("sxy", Scheduler.Sxy);
+      ("exact", Scheduler.Exact_small);
+    ]
+  in
+  let doc = "Scheduler: auto, sa, sx, sr, sxy or exact." in
+  Arg.(value & opt (enum alts) Scheduler.Auto & info [ "a"; "algorithm" ] ~doc)
+
+let schedule_cmd =
+  let run tasks algorithm =
+    match collect parse_task tasks with
+    | Error e -> fail "%s" e
+    | Ok sys -> (
+        Format.printf "system: %a@.density: %a@." Task.pp_system sys Q.pp
+          (Task.system_density sys);
+        match Scheduler.schedule ~algorithm sys with
+        | Some sched ->
+            Format.printf "schedule (period %d): %a@." (Schedule.period sched)
+              Schedule.pp sched;
+            `Ok ()
+        | None ->
+            fail "no schedule found by %s"
+              (Format.asprintf "%a" Scheduler.pp_algorithm algorithm))
+  in
+  Cmd.v
+    (Cmd.info "schedule" ~doc:"Schedule a pinwheel task system")
+    Term.(ret (const (fun () -> run) $ setup_logs $ tasks_arg $ algorithm_arg))
+
+(* ---------------- bandwidth ---------------- *)
+
+let bandwidth_cmd =
+  let run files =
+    match collect parse_file files with
+    | Error e -> fail "%s" e
+    | Ok files ->
+        Format.printf "demand (lower bound): %a blocks/sec@." Q.pp
+          (Bandwidth.demand files);
+        Format.printf "equation-2 sufficient bandwidth: %d blocks/sec@."
+          (Bandwidth.required files);
+        (match Bandwidth.minimum files with
+        | Some (b, _) ->
+            Format.printf "smallest schedulable bandwidth: %d (overhead %.2fx)@."
+              b
+              (Bandwidth.overhead ~achieved:b files)
+        | None -> Format.printf "no schedulable bandwidth found (unexpected)@.");
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "bandwidth" ~doc:"Bandwidth bounds for broadcast files")
+    Term.(ret (const (fun () -> run) $ setup_logs $ files_arg))
+
+(* ---------------- program ---------------- *)
+
+let program_cmd =
+  let run files bandwidth =
+    match collect parse_file files with
+    | Error e -> fail "%s" e
+    | Ok files -> (
+        let result =
+          match bandwidth with
+          | Some b ->
+              Program.pinwheel ~bandwidth:b files |> Option.map (fun p -> (b, p))
+          | None -> Program.auto files
+        in
+        match result with
+        | None -> fail "not schedulable at that bandwidth"
+        | Some (b, p) ->
+            Format.printf "bandwidth: %d blocks/sec@." b;
+            Format.printf "broadcast period: %d slots@." (Program.period p);
+            Format.printf "data cycle: %d slots@." (Program.data_cycle p);
+            List.iter
+              (fun f ->
+                Format.printf
+                  "  %-12s %d slots/period, max spacing %s, capacity %d@."
+                  f.File_spec.name
+                  (Program.occurrences_per_period p f.File_spec.id)
+                  (match Program.delta p f.File_spec.id with
+                  | Some d -> string_of_int d
+                  | None -> "-")
+                  (Program.capacity p f.File_spec.id))
+              files;
+            Format.printf "period layout: %a@." Program.pp p;
+            `Ok ())
+  in
+  let bw =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "b"; "bandwidth" ] ~doc:"Bandwidth in blocks/sec (default: search).")
+  in
+  Cmd.v
+    (Cmd.info "program" ~doc:"Build and print a broadcast program")
+    Term.(ret (const (fun () -> run) $ setup_logs $ files_arg $ bw))
+
+(* ---------------- convert ---------------- *)
+
+let convert_cmd =
+  let run spec =
+    match parse_bc spec with
+    | Error e -> fail "%s" e
+    | Ok bc ->
+        Format.printf "condition: %a@." Bc.pp bc;
+        Format.printf "density lower bound: %a@." Q.pp (Bc.density_lower_bound bc);
+        let show label nice =
+          Format.printf "  %-8s density %-8s:" label
+            (Q.to_string (Convert.density nice));
+          List.iter
+            (fun e -> Format.printf " pc(%d,%d)" e.Convert.a e.Convert.b)
+            nice;
+          Format.printf "@."
+        in
+        show "TR1" (Convert.tr1 bc);
+        show "TR2" (Convert.tr2 bc);
+        show "single" (Convert.best_single bc);
+        let label, best = Convert.best bc in
+        Format.printf "winner: %s@." label;
+        show "best" best;
+        `Ok ()
+  in
+  let spec =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"M:D0,D1,..." ~doc:"Broadcast condition (size and latency vector).")
+  in
+  Cmd.v
+    (Cmd.info "convert"
+       ~doc:"Compile a generalized broadcast condition to nice pinwheel conditions")
+    Term.(ret (const (fun () -> run) $ setup_logs $ spec))
+
+(* ---------------- analyze ---------------- *)
+
+let analyze_cmd =
+  let run tasks =
+    match collect parse_task tasks with
+    | Error e -> fail "%s" e
+    | Ok sys ->
+        let report = P.Analysis.analyze sys in
+        Format.printf "%a@." P.Analysis.pp_report report;
+        (match report.P.Analysis.verdict with
+        | P.Analysis.Schedulable sched ->
+            Format.printf "schedule: %a@." Schedule.pp sched
+        | _ -> ());
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Diagnose a pinwheel system: certificates, classification, verdict")
+    Term.(ret (const (fun () -> run) $ setup_logs $ tasks_arg))
+
+(* ---------------- export / inspect ---------------- *)
+
+let out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"PATH" ~doc:"Write the program to a file.")
+
+let export_cmd =
+  let run files bandwidth output =
+    match collect parse_file files with
+    | Error e -> fail "%s" e
+    | Ok files -> (
+        let result =
+          match bandwidth with
+          | Some b ->
+              Program.pinwheel ~bandwidth:b files |> Option.map (fun p -> (b, p))
+          | None -> Program.auto files
+        in
+        match result with
+        | None -> fail "not schedulable"
+        | Some (b, p) ->
+            (match output with
+            | Some path ->
+                Pindisk.Codec.write p path;
+                Format.printf "wrote %s (bandwidth %d blocks/sec)@." path b
+            | None -> print_string (Pindisk.Codec.to_string p));
+            `Ok ())
+  in
+  let bw =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "b"; "bandwidth" ] ~doc:"Bandwidth in blocks/sec (default: search).")
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Design a program and serialize it")
+    Term.(ret (const (fun () -> run) $ setup_logs $ files_arg $ bw $ out_arg))
+
+let inspect_cmd =
+  let run path =
+    match Pindisk.Codec.read path with
+    | Error e -> fail "%s" e
+    | Ok p ->
+        Format.printf "period: %d slots; data cycle: %d slots@." (Program.period p)
+          (Program.data_cycle p);
+        List.iter
+          (fun f ->
+            Format.printf
+              "  file %d: %d slots/period, capacity %d, max spacing %s@." f
+              (Program.occurrences_per_period p f)
+              (Program.capacity p f)
+              (match Program.delta p f with
+              | Some d -> string_of_int d
+              | None -> "-"))
+          (Program.files p);
+        Format.printf "layout: %a@." Program.pp p;
+        `Ok ()
+  in
+  let path =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"PATH" ~doc:"A program file written by export.")
+  in
+  Cmd.v
+    (Cmd.info "inspect" ~doc:"Load and describe a serialized program")
+    Term.(ret (const (fun () -> run) $ setup_logs $ path))
+
+(* ---------------- design ---------------- *)
+
+let design_cmd =
+  let parse_req i s =
+    (* NAME:BYTES:LATENCY[:TOLERANCE] *)
+    match String.split_on_char ':' s with
+    | name :: bytes :: latency :: rest -> (
+        let tolerance =
+          match rest with
+          | [] -> Some 0
+          | [ t ] -> int_of_string_opt t
+          | _ -> None
+        in
+        match (int_of_string_opt bytes, int_of_string_opt latency, tolerance) with
+        | Some bytes, Some latency_s, Some tolerance -> (
+            match
+              Pindisk.Designer.requirement ~name ~tolerance ~id:i ~bytes
+                ~latency_s ()
+            with
+            | r -> Ok r
+            | exception Invalid_argument e -> Error e)
+        | _ -> Error (Printf.sprintf "bad requirement %S" s))
+    | _ -> Error (Printf.sprintf "bad requirement %S (want NAME:BYTES:LAT[:TOL])" s)
+  in
+  let run reqs byte_rate =
+    match collect parse_req reqs with
+    | Error e -> fail "%s" e
+    | Ok reqs -> (
+        match Pindisk.Designer.plan ~byte_rate reqs with
+        | Error reason -> fail "no feasible plan: %s" reason
+        | Ok plan ->
+            Format.printf "%a" Pindisk.Designer.pp plan;
+            `Ok ())
+  in
+  let reqs =
+    Arg.(
+      non_empty & opt_all string []
+      & info [ "r"; "require" ] ~docv:"NAME:BYTES:LAT[:TOL]"
+          ~doc:"A physical requirement: payload bytes, latency seconds, losses to survive.")
+  in
+  let byte_rate =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "rate" ] ~docv:"BYTES/S" ~doc:"Channel byte rate.")
+  in
+  Cmd.v
+    (Cmd.info "design"
+       ~doc:"From physical requirements to a provisioned broadcast disk")
+    Term.(ret (const (fun () -> run) $ setup_logs $ reqs $ byte_rate))
+
+(* ---------------- serve / receive ---------------- *)
+
+(* A broadcast stream is a line protocol, one line per slot:
+     pindisk-stream v1
+     meta <file> <m> <capacity> <length>     (per file)
+     slot <t> <file> <piece-index> <hex>     (busy slot)
+     slot <t> .                              (idle slot)
+   so `pindisk serve ... | pindisk receive --file 0` demonstrates the
+   whole system across a pipe. *)
+
+let hex_of_bytes b =
+  let buf = Buffer.create (2 * Bytes.length b) in
+  Bytes.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) b;
+  Buffer.contents buf
+
+let bytes_of_hex s =
+  if String.length s mod 2 <> 0 then invalid_arg "odd hex length";
+  Bytes.init (String.length s / 2) (fun i ->
+      Char.chr (int_of_string ("0x" ^ String.sub s (2 * i) 2)))
+
+let parse_content i s =
+  (* NAME:BLOCKS:LATENCY[:TOL]=TEXT -- the file spec plus its payload. *)
+  match String.index_opt s '=' with
+  | None -> Error (Printf.sprintf "bad content %S (want SPEC=TEXT)" s)
+  | Some eq -> (
+      let spec = String.sub s 0 eq in
+      let text = String.sub s (eq + 1) (String.length s - eq - 1) in
+      match parse_file i spec with
+      | Ok f -> Ok (f, Bytes.of_string text)
+      | Error e -> Error e)
+
+let serve_cmd =
+  let run contents slots =
+    match collect parse_content contents with
+    | Error e -> fail "%s" e
+    | Ok pairs -> (
+        let files = List.map fst pairs in
+        match Program.auto files with
+        | None -> fail "not schedulable"
+        | Some (_, program) ->
+            let module Ida = Pindisk_ida.Ida in
+            let transport =
+              Pindisk_sim.Transport.create ~program
+                (List.map
+                   (fun (f, content) ->
+                     (f.File_spec.id, f.File_spec.blocks, content))
+                   pairs)
+            in
+            print_endline "pindisk-stream v1";
+            List.iter
+              (fun (f, content) ->
+                Printf.printf "meta %d %d %d %d\n" f.File_spec.id
+                  f.File_spec.blocks f.File_spec.capacity
+                  (Bytes.length content))
+              pairs;
+            for t = 0 to slots - 1 do
+              match Pindisk_sim.Transport.on_air transport t with
+              | None -> Printf.printf "slot %d .\n" t
+              | Some (file, piece) ->
+                  Printf.printf "slot %d %d %d %s\n" t file piece.Ida.index
+                    (hex_of_bytes piece.Ida.data)
+            done;
+            `Ok ())
+  in
+  let contents =
+    Arg.(
+      non_empty & opt_all string []
+      & info [ "c"; "content" ] ~docv:"SPEC=TEXT"
+          ~doc:"A file spec plus payload, e.g. alerts:2:4:2=the-text.")
+  in
+  let slots =
+    Arg.(value & opt int 64 & info [ "slots" ] ~doc:"Number of slots to emit.")
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc:"Broadcast IDA-dispersed content as a line stream on stdout")
+    Term.(ret (const (fun () -> run) $ setup_logs $ contents $ slots))
+
+let receive_cmd =
+  let run file loss seed =
+    let module Ida = Pindisk_ida.Ida in
+    let rng = Random.State.make [| seed |] in
+    let metas = Hashtbl.create 4 in
+    let collected = Hashtbl.create 8 in
+    let dropped = ref 0 and seen = ref 0 in
+    let result = ref None in
+    (try
+       (match input_line stdin with
+       | "pindisk-stream v1" -> ()
+       | other -> failwith (Printf.sprintf "unknown stream header %S" other));
+       while !result = None do
+         let line = input_line stdin in
+         match String.split_on_char ' ' line with
+         | [ "meta"; f; m; cap; len ] ->
+             Hashtbl.replace metas (int_of_string f)
+               (int_of_string m, int_of_string cap, int_of_string len)
+         | [ "slot"; _; "." ] -> ()
+         | [ "slot"; _; f; idx; payload ] ->
+             let f = int_of_string f in
+             if f = file then begin
+               incr seen;
+               if Random.State.float rng 1.0 < loss then incr dropped
+               else begin
+                 let idx = int_of_string idx in
+                 if not (Hashtbl.mem collected idx) then
+                   Hashtbl.replace collected idx
+                     { Ida.index = idx; data = bytes_of_hex payload };
+                 let m, _, len =
+                   match Hashtbl.find_opt metas file with
+                   | Some meta -> meta
+                   | None -> failwith "block before meta"
+                 in
+                 if Hashtbl.length collected >= m then begin
+                   let ida = Ida.create ~m in
+                   let pieces = Hashtbl.fold (fun _ p acc -> p :: acc) collected [] in
+                   result := Some (Ida.reconstruct ida ~length:len pieces)
+                 end
+               end
+             end
+         | _ -> failwith (Printf.sprintf "bad stream line %S" line)
+       done
+     with End_of_file -> ());
+    match !result with
+    | Some bytes ->
+        Format.eprintf "reconstructed %d bytes from %d receptions (%d dropped)@."
+          (Bytes.length bytes) (!seen - !dropped) !dropped;
+        print_string (Bytes.to_string bytes);
+        print_newline ();
+        `Ok ()
+    | None -> fail "stream ended before %d distinct pieces arrived" file
+  in
+  let file =
+    Arg.(required & opt (some int) None & info [ "file" ] ~doc:"File id to reconstruct.")
+  in
+  let loss =
+    Arg.(value & opt float 0.0 & info [ "loss" ] ~doc:"Reception loss probability.")
+  in
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Loss seed.") in
+  Cmd.v
+    (Cmd.info "receive"
+       ~doc:"Reconstruct one file from a broadcast stream on stdin")
+    Term.(ret (const (fun () -> run) $ setup_logs $ file $ loss $ seed))
+
+(* ---------------- simulate ---------------- *)
+
+let simulate_cmd =
+  let run files loss trials seed =
+    match collect parse_file files with
+    | Error e -> fail "%s" e
+    | Ok files -> (
+        match Program.auto files with
+        | None -> fail "not schedulable"
+        | Some (b, program) ->
+            Format.printf "bandwidth %d, period %d, loss rate %.0f%%@." b
+              (Program.period program) (100.0 *. loss);
+            List.iter
+              (fun f ->
+                let summary =
+                  Pindisk_sim.Experiment.run ~program ~file:f.File_spec.id
+                    ~needed:f.File_spec.blocks
+                    ~deadline:(File_spec.window f ~bandwidth:b)
+                    ~fault:(fun ~seed -> Pindisk_sim.Fault.bernoulli ~p:loss ~seed)
+                    ~trials ~seed ()
+                in
+                Format.printf "  %-12s %a@." f.File_spec.name
+                  Pindisk_sim.Experiment.pp_summary summary)
+              files;
+            `Ok ())
+  in
+  let loss =
+    Arg.(value & opt float 0.1 & info [ "loss" ] ~doc:"Block loss probability.")
+  in
+  let trials =
+    Arg.(value & opt int 1000 & info [ "trials" ] ~doc:"Clients per file.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Stochastic retrieval simulation")
+    Term.(ret (const (fun () -> run) $ setup_logs $ files_arg $ loss $ trials $ seed))
+
+let () =
+  let info =
+    Cmd.info "pindisk" ~version:"1.0.0"
+      ~doc:"Pinwheel scheduling for fault-tolerant broadcast disks"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            schedule_cmd;
+            bandwidth_cmd;
+            program_cmd;
+            convert_cmd;
+            simulate_cmd;
+            analyze_cmd;
+            export_cmd;
+            inspect_cmd;
+            design_cmd;
+            serve_cmd;
+            receive_cmd;
+          ]))

@@ -1,0 +1,44 @@
+module Q = Pindisk_util.Q
+module Task = Pindisk_pinwheel.Task
+module Schedule = Pindisk_pinwheel.Schedule
+module Verify = Pindisk_pinwheel.Verify
+
+type t = { file : int; m : int; d : int array }
+
+let make ~file ~m ~d =
+  if file < 0 then invalid_arg "Bc.make: negative file id";
+  if m < 1 then invalid_arg "Bc.make: m must be >= 1";
+  if d = [] then invalid_arg "Bc.make: empty latency vector";
+  let d = Array.of_list d in
+  Array.iteri
+    (fun j dj ->
+      if dj < m + j then
+        invalid_arg
+          (Printf.sprintf
+             "Bc.make: unsatisfiable: d^(%d) = %d < m + %d = %d" j dj j (m + j)))
+    d;
+  { file; m; d }
+
+let faults_tolerated t = Array.length t.d - 1
+
+let to_pcs t =
+  Array.to_list
+    (Array.mapi (fun j dj -> Task.make ~id:t.file ~a:(t.m + j) ~b:dj) t.d)
+
+let density_lower_bound t =
+  Array.to_list (Array.mapi (fun j dj -> Q.make (t.m + j) dj) t.d)
+  |> List.fold_left Q.max Q.zero
+
+let check sched t =
+  let rec first = function
+    | [] -> None
+    | pc :: rest -> (
+        match Verify.check_task sched pc with
+        | Some v -> Some v
+        | None -> first rest)
+  in
+  first (to_pcs t)
+
+let pp ppf t =
+  Format.fprintf ppf "bc(%d, %d, [%s])" t.file t.m
+    (String.concat "; " (Array.to_list (Array.map string_of_int t.d)))

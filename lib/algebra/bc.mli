@@ -1,0 +1,46 @@
+(** Broadcast file conditions (Section 4.1 of the paper).
+
+    A generalized fault-tolerant real-time broadcast file [F_i] is specified
+    by a size [m_i] (in blocks) and a latency vector
+    [d⃗_i = \[d⁽⁰⁾; d⁽¹⁾; …; d⁽ʳ⁾\]]: the worst-case latency tolerable in the
+    presence of [j] faults is the time to transmit [d⁽ʲ⁾] blocks. A broadcast
+    program [P] satisfies [bc(i, m_i, d⃗_i)] iff [P.i] contains at least
+    [m_i + j] out of every [d⁽ʲ⁾] consecutive slots, for all [j] — i.e.
+    even after [j] lost blocks, [m_i] good blocks (enough for IDA
+    reconstruction) arrive within [d⁽ʲ⁾] slots.
+
+    Equation 3 of the paper:
+    [bc(i, m, d⃗) ≡ ∧_j pc(i, m + j, d⁽ʲ⁾)]. *)
+
+module Q = Pindisk_util.Q
+module Task = Pindisk_pinwheel.Task
+module Schedule = Pindisk_pinwheel.Schedule
+module Verify = Pindisk_pinwheel.Verify
+
+type t = private { file : int; m : int; d : int array }
+(** Invariants: [file >= 0], [m >= 1], [d] non-empty, every [d.(j) >= m + j]
+    (otherwise the condition is unsatisfiable: a window of [d⁽ʲ⁾] slots
+    cannot contain [m + j > d⁽ʲ⁾] occurrences). *)
+
+val make : file:int -> m:int -> d:int list -> t
+(** Raises [Invalid_argument] when the invariants fail. *)
+
+val faults_tolerated : t -> int
+(** [r_i], the dimension of the latency vector minus one. *)
+
+val to_pcs : t -> Task.t list
+(** The equivalent conjunct of pinwheel conditions (Equation 3), all bearing
+    the file's id: [pc(i, m+j, d⁽ʲ⁾)] for [j = 0 .. r]. *)
+
+val density_lower_bound : t -> Q.t
+(** [max_j (m + j) / d⁽ʲ⁾] — a lower bound on the density of any (nice
+    conjunct of) pinwheel condition(s) implying this broadcast condition.
+    The bound is not always achievable (the paper notes [bc(i, 2, \[5; 7\])]
+    needs more than [3/7]). *)
+
+val check : Schedule.t -> t -> Verify.violation option
+(** [check sched bc] verifies the broadcast condition against a schedule
+    whose slots are labelled with {e file} ids (project pseudo-task
+    schedules through {!Schedule.map_tasks} first). *)
+
+val pp : Format.formatter -> t -> unit

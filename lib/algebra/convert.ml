@@ -1,0 +1,148 @@
+module Q = Pindisk_util.Q
+module Intmath = Pindisk_util.Intmath
+module Task = Pindisk_pinwheel.Task
+
+let src = Logs.Src.create "pindisk.algebra" ~doc:"Pinwheel algebra conversions"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type entry = { a : int; b : int; file : int }
+type nice = entry list
+
+let density nice = Q.sum (List.map (fun e -> Q.make e.a e.b) nice)
+
+(* Conditions of a bc, as anonymous (count, window) pairs. *)
+let conds (bc : Bc.t) =
+  List.map (fun t -> (t.Task.a, t.Task.b)) (Bc.to_pcs bc)
+
+let pc (a, b) = Task.make ~id:0 ~a ~b
+
+let tr1 (bc : Bc.t) =
+  let w =
+    Intmath.min_list (List.map (fun (c, e) -> e / c) (conds bc))
+  in
+  [ { a = 1; b = w; file = bc.Bc.file } ]
+
+let tr2 (bc : Bc.t) =
+  let file = bc.Bc.file in
+  match conds bc with
+  | [] -> assert false (* Bc invariant: d is non-empty *)
+  | base_cond :: rest ->
+      let base = pc base_cond in
+      let reduced = Rules.r1_reduce base in
+      (* Walk the fault levels; [prev] is the already-guaranteed condition
+         (m+j-1, d^(j-1)) that rule R4 chains on. *)
+      let rec go prev acc = function
+        | [] -> List.rev acc
+        | cond :: rest ->
+            let target = pc cond in
+            if Rules.implies prev target || Rules.implies reduced target then
+              go target acc rest
+            else begin
+              let options =
+                List.filter_map
+                  (fun o -> o)
+                  [
+                    (* R4 on the accumulated guarantee: the (1, d^(j)) alias
+                       of the literal TR2. *)
+                    Rules.r4_alias ~base:prev ~target;
+                    (* R5 on the R1-reduced base (Example 4's trick). *)
+                    Rules.r5_alias ~base:reduced ~target;
+                    (* R4 on what the base alone forces into this window. *)
+                    (let g =
+                       Rules.max_guaranteed reduced ~window:target.Task.b
+                     in
+                     if g >= target.Task.a then None
+                     else Some (target.Task.a - g, target.Task.b));
+                  ]
+              in
+              let cheapest =
+                match options with
+                | [] -> assert false (* the third option always applies here *)
+                | o :: os ->
+                    List.fold_left
+                      (fun (ba, bb) (a, b) ->
+                        if Q.( < ) (Q.make a b) (Q.make ba bb) then (a, b)
+                        else (ba, bb))
+                      o os
+              in
+              let a, b = cheapest in
+              go target ({ a; b; file } :: acc) rest
+            end
+      in
+      let aliases = go base [] rest in
+      (* Emit the R1-reduced base: same density, and it is the condition the
+         R5 option relies on (reduced implies the original base by R1). *)
+      { a = reduced.Task.a; b = reduced.Task.b; file } :: aliases
+
+let best_single (bc : Bc.t) =
+  let cs = conds bc in
+  let file = bc.Bc.file in
+  let max_b = Intmath.max_list (List.map snd cs) in
+  (* Minimal count a making pc(a, b) imply cond (c, e): minimize over the
+     scaling factor n of max(ceil(c/n), b - floor((e-c)/n)). *)
+  let min_a_for b (c, e) =
+    let best = ref (b + 1) in
+    for n = 1 to c do
+      let lo = Intmath.ceil_div c n in
+      let hi_constraint = b - ((e - c) / n) in
+      let a = max lo hi_constraint in
+      let a = max a 1 in
+      if a <= b && a < !best then
+        (* The algebraic bound can be off by rounding; confirm. *)
+        if Rules.implies (pc (a, b)) (pc (c, e)) then best := a
+    done;
+    !best
+  in
+  let fallback =
+    let k = Intmath.max_list (List.map fst cs) in
+    { a = k; b = k; file }
+  in
+  let best = ref fallback in
+  for b = 1 to max_b do
+    let a = Intmath.max_list (List.map (min_a_for b) cs) in
+    if a <= b && Q.( < ) (Q.make a b) (Q.make !best.a !best.b) then
+      best := { a; b; file }
+  done;
+  [ !best ]
+
+let best bc =
+  let candidates =
+    [ ("TR1", tr1 bc); ("TR2", tr2 bc); ("single", best_single bc) ]
+  in
+  Log.debug (fun m ->
+      m "converting %a: %s (lower bound %a)" Bc.pp bc
+        (String.concat ", "
+           (List.map
+              (fun (l, n) -> Printf.sprintf "%s=%s" l (Q.to_string (density n)))
+              candidates))
+        Q.pp (Bc.density_lower_bound bc));
+  match candidates with
+  | c :: cs ->
+      List.fold_left
+        (fun (bl, bn) (l, n) ->
+          if Q.( < ) (density n) (density bn) then (l, n) else (bl, bn))
+        c cs
+  | [] -> assert false
+
+let compile bcs =
+  let files = List.map (fun (bc : Bc.t) -> bc.Bc.file) bcs in
+  if List.length (List.sort_uniq compare files) <> List.length files then
+    invalid_arg "Convert.compile: duplicate file ids";
+  let next = ref (1 + List.fold_left max (-1) files) in
+  let fresh () =
+    let id = !next in
+    incr next;
+    id
+  in
+  List.concat_map
+    (fun bc ->
+      let _, nice = best bc in
+      List.map
+        (fun e -> (Task.make ~id:(fresh ()) ~a:e.a ~b:e.b, e.file))
+        nice)
+    bcs
+
+let is_nice tasks =
+  let ids = List.map (fun (t, _) -> t.Task.id) tasks in
+  List.length (List.sort_uniq compare ids) = List.length ids

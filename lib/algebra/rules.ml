@@ -1,0 +1,52 @@
+module Task = Pindisk_pinwheel.Task
+module Intmath = Pindisk_util.Intmath
+
+let r0 t ~x ~y =
+  if x < 0 || y < 0 then invalid_arg "Rules.r0: x, y must be >= 0";
+  if t.Task.a - x < 1 then None
+  else Some (Task.make ~id:t.Task.id ~a:(t.Task.a - x) ~b:(t.Task.b + y))
+
+let r1 t ~n =
+  if n < 1 then invalid_arg "Rules.r1: n must be >= 1";
+  Task.make ~id:t.Task.id ~a:(n * t.Task.a) ~b:(n * t.Task.b)
+
+let r2 t ~x =
+  if x < 0 then invalid_arg "Rules.r2: x must be >= 0";
+  if t.Task.a - x < 1 then None
+  else Some (Task.make ~id:t.Task.id ~a:(t.Task.a - x) ~b:(t.Task.b - x))
+
+let r1_reduce t =
+  let g = Intmath.gcd t.Task.a t.Task.b in
+  Task.make ~id:t.Task.id ~a:(t.Task.a / g) ~b:(t.Task.b / g)
+
+let r3 t = Task.unit ~id:t.Task.id ~b:(t.Task.b / t.Task.a)
+
+(* implies (a,b) (c,e): exists n >= ceil(c/a) with n(b-a) <= e-c. The
+   left side is non-decreasing in n, so only the smallest n matters. *)
+let implies got want =
+  let a = got.Task.a and b = got.Task.b in
+  let c = want.Task.a and e = want.Task.b in
+  let n = Intmath.ceil_div c a in
+  n * (b - a) <= e - c
+
+let max_guaranteed got ~window =
+  if window < 1 then invalid_arg "Rules.max_guaranteed: window must be >= 1";
+  (* Largest k <= window with implies got (k, window); scan downward. *)
+  let rec go k =
+    if k < 1 then 0
+    else if implies got (Task.make ~id:got.Task.id ~a:k ~b:window) then k
+    else go (k - 1)
+  in
+  go window
+
+let r4_alias ~base ~target =
+  let a = base.Task.a and b = base.Task.b in
+  let c = target.Task.a and e = target.Task.b in
+  if e < b || c <= a then None else Some (c - a, e)
+
+let r5_alias ~base ~target =
+  let a = base.Task.a and b = base.Task.b in
+  let c = target.Task.a and e = target.Task.b in
+  let n = Intmath.ceil_div c a in
+  let x = (n * b) - e in
+  if x <= 0 then None else Some (x, n * b)

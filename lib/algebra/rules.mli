@@ -1,0 +1,60 @@
+(** The pinwheel algebra: rules R0–R5 of Figure 8.
+
+    Conditions are {!Pindisk_pinwheel.Task.t} values read as pinwheel
+    conditions [pc(id, a, b)]. Each rule is stated in the paper as
+    [LHS ⇐ RHS]: any broadcast program satisfying the RHS also satisfies
+    the LHS. The functions below go from a {e satisfied} condition to a
+    condition it entails (R0–R2), from a {e target} to a sufficient
+    replacement (R3), or produce the alias condition of the two-condition
+    rules (R4, R5).
+
+    {!implies} is the decision procedure for the implications derivable by
+    composing R0, R1 and R2 — the workhorse of the conversion-to-nice
+    search. It is sound (a proof exists whenever it answers [true]); the
+    paper conjectures the general minimum-density conversion problem is
+    NP-hard, so no completeness is claimed for the overall search. *)
+
+module Task = Pindisk_pinwheel.Task
+
+val r0 : Task.t -> x:int -> y:int -> Task.t option
+(** From satisfied [pc(a, b)], conclude [pc(a - x, b + y)] ([x, y >= 0]).
+    [None] when [a - x < 1]. *)
+
+val r1 : Task.t -> n:int -> Task.t
+(** From satisfied [pc(a, b)], conclude [pc(n·a, n·b)] ([n >= 1]). *)
+
+val r2 : Task.t -> x:int -> Task.t option
+(** From satisfied [pc(a, b)], conclude [pc(a - x, b - x)] ([x >= 0]).
+    [None] when [a - x < 1]. *)
+
+val r1_reduce : Task.t -> Task.t
+(** The strongest R1 preimage: [pc(a/g, b/g)] with [g = gcd a b] — same
+    density, tighter structure (satisfying it satisfies the original, by
+    R1). Used before applying R5, as in the paper's Example 4. *)
+
+val r3 : Task.t -> Task.t
+(** A single-unit condition sufficient for the target:
+    [pc(a, b) ⇐ pc(1, ⌊b/a⌋)]. *)
+
+val implies : Task.t -> Task.t -> bool
+(** [implies got want] (ids ignored): scheduling [got = pc(a, b)]
+    guarantees [want = pc(c, e)], by some composition [R1; R2; R0] — i.e.
+    [∃ n >= 1: n·a >= c  ∧  n·(b - a) <= e - c]. *)
+
+val max_guaranteed : Task.t -> window:int -> int
+(** [max_guaranteed got ~window] is the largest count [k] such that
+    [implies got (pc k window)] — how many occurrences [got] forces into
+    every window of the given length ([0] if none). *)
+
+val r4_alias : base:Task.t -> target:Task.t -> (int * int) option
+(** R4: to meet [target = pc(c, e)] given that [base = pc(a, b)] is already
+    guaranteed with [e >= b], an aliased pseudo-task with condition
+    [pc(c - a, e)] suffices (together, [a + (c - a)] occurrences land in
+    every [e]-window). [None] when [c <= a] (base alone suffices) or
+    [e < b]. *)
+
+val r5_alias : base:Task.t -> target:Task.t -> (int * int) option
+(** R5 (after {!r1_reduce}-ing the base yourself if desired): to meet
+    [target = pc(c, e)] given guaranteed [base = pc(a, b)], pick
+    [n = ⌈c/a⌉] and alias [pc(n·b - e, n·b)]. [None] when the base alone
+    already implies the target ([n·b <= e]). *)

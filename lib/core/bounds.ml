@@ -1,0 +1,18 @@
+module Q = Pindisk_util.Q
+
+let lemma1 ~period ~errors =
+  if period < 1 || errors < 0 then invalid_arg "Bounds.lemma1: bad arguments";
+  period * errors
+
+let lemma2 ~delta ~errors =
+  if delta < 1 || errors < 0 then invalid_arg "Bounds.lemma2: bad arguments";
+  delta * errors
+
+let speedup ~period ~delta =
+  if period < 1 || delta < 1 then invalid_arg "Bounds.speedup: bad arguments";
+  Q.make period delta
+
+let program_speedup prog ~file =
+  match Program.delta prog file with
+  | None -> None
+  | Some d -> Some (speedup ~period:(Program.period prog) ~delta:d)

@@ -1,0 +1,25 @@
+(** The paper's closed-form delay bounds (Lemmas 1 and 2).
+
+    Lemma 1: in a flat program of broadcast period [τ], [r] block
+    transmission errors delay retrieval by at most [r·τ].
+
+    Lemma 2: in an AIDA-based flat program where consecutive blocks of a
+    dispersed file are never more than [Δ] slots apart, [r] errors delay
+    retrieval by at most [r·Δ].
+
+    The ratio [τ/Δ] is the error-recovery speedup AIDA buys (the paper's
+    example: 200 blocks in 10 files of 20 blocks gives [Δ = 10] and a
+    20-fold speedup). *)
+
+val lemma1 : period:int -> errors:int -> int
+(** [r·τ]. *)
+
+val lemma2 : delta:int -> errors:int -> int
+(** [r·Δ]. *)
+
+val speedup : period:int -> delta:int -> Pindisk_util.Q.t
+(** [τ/Δ]. *)
+
+val program_speedup : Program.t -> file:int -> Pindisk_util.Q.t option
+(** The speedup Lemma 2 promises for one file of a program: its period
+    over its {!Program.delta}. [None] if the file never appears. *)

@@ -1,0 +1,97 @@
+module Schedule = Pindisk_pinwheel.Schedule
+
+let header = "pindisk-program v1"
+
+let to_string p =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf header;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun f -> Buffer.add_string buf (Printf.sprintf "capacity %d %d\n" f (Program.capacity p f)))
+    (Program.files p);
+  Buffer.add_string buf "layout";
+  for t = 0 to Program.period p - 1 do
+    Buffer.add_char buf ' ';
+    match Program.block_at p t with
+    | None -> Buffer.add_char buf '.'
+    | Some (f, k) -> Buffer.add_string buf (Printf.sprintf "%d:%d" f k)
+  done;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let parse_token tok =
+  if tok = "." then Ok (Schedule.idle, 0)
+  else
+    match String.split_on_char ':' tok with
+    | [ f; k ] -> (
+        match (int_of_string_opt f, int_of_string_opt k) with
+        | Some f, Some k when f >= 0 && k >= 0 -> Ok (f, k)
+        | _ -> Error (Printf.sprintf "bad layout token %S" tok))
+    | _ -> Error (Printf.sprintf "bad layout token %S" tok)
+
+let of_string s =
+  let lines =
+    String.split_on_char '\n' s
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "")
+  in
+  match lines with
+  | [] -> Error "empty input"
+  | h :: rest when h = header -> (
+      let capacities = ref [] and layout = ref None in
+      let rec go = function
+        | [] -> Ok ()
+        | line :: rest -> (
+            match String.split_on_char ' ' line with
+            | "capacity" :: args -> (
+                match args with
+                | [ f; n ] -> (
+                    match (int_of_string_opt f, int_of_string_opt n) with
+                    | Some f, Some n ->
+                        capacities := (f, n) :: !capacities;
+                        go rest
+                    | _ -> Error (Printf.sprintf "bad capacity line %S" line))
+                | _ -> Error (Printf.sprintf "bad capacity line %S" line))
+            | "layout" :: tokens -> (
+                let tokens = List.filter (fun t -> t <> "") tokens in
+                let rec parse acc = function
+                  | [] -> Ok (List.rev acc)
+                  | tok :: more -> (
+                      match parse_token tok with
+                      | Ok slot -> parse (slot :: acc) more
+                      | Error e -> Error e)
+                in
+                match parse [] tokens with
+                | Ok slots ->
+                    layout := Some slots;
+                    go rest
+                | Error e -> Error e)
+            | _ -> Error (Printf.sprintf "unrecognized line %S" line))
+      in
+      match go rest with
+      | Error e -> Error e
+      | Ok () -> (
+          match !layout with
+          | None -> Error "missing layout line"
+          | Some slots -> (
+              match Program.of_layout slots ~capacities:!capacities with
+              | p -> Ok p
+              | exception Invalid_argument e -> Error e)))
+  | h :: _ -> Error (Printf.sprintf "unknown header %S (want %S)" h header)
+
+let write p path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string p))
+
+let read path =
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let n = in_channel_length ic in
+          let s = really_input_string ic n in
+          of_string s)

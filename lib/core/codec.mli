@@ -1,0 +1,30 @@
+(** Textual serialization of broadcast programs.
+
+    A deliberately simple line format, for shipping a designed program
+    from the planning tool to a broadcast server (or into version
+    control):
+
+    {v
+    pindisk-program v1
+    capacity 0 10
+    capacity 1 6
+    layout 0:0 1:0 0:1 0:2 1:1 0:3 1:2 0:4
+    v}
+
+    [capacity] lines give each file's on-air block count; the [layout]
+    line is one broadcast period of [file:block] tokens ([.] for an idle
+    slot). Parsing re-validates everything through
+    {!Program.of_layout}, so a corrupted file cannot yield a program
+    whose block cycling is inconsistent. *)
+
+val to_string : Program.t -> string
+
+val of_string : string -> (Program.t, string) result
+(** [Error] carries a human-readable reason (unknown header, bad token,
+    missing capacity, inconsistent cycling, …). *)
+
+val write : Program.t -> string -> unit
+(** [write p path] saves to a file. *)
+
+val read : string -> (Program.t, string) result
+(** [read path] loads from a file; I/O errors are [Error]. *)

@@ -1,0 +1,144 @@
+module Q = Pindisk_util.Q
+module Intmath = Pindisk_util.Intmath
+module Schedule = Pindisk_pinwheel.Schedule
+
+type requirement = {
+  id : int;
+  name : string;
+  bytes : int;
+  latency_s : int;
+  tolerance : int;
+}
+
+let requirement ?name ?(tolerance = 0) ~id ~bytes ~latency_s () =
+  if id < 0 then invalid_arg "Designer.requirement: negative id";
+  if bytes < 1 then invalid_arg "Designer.requirement: bytes must be >= 1";
+  if latency_s < 1 then invalid_arg "Designer.requirement: latency must be >= 1";
+  if tolerance < 0 then invalid_arg "Designer.requirement: negative tolerance";
+  let name = match name with Some n -> n | None -> Printf.sprintf "F%d" id in
+  { id; name; bytes; latency_s; tolerance }
+
+type file_plan = {
+  spec : File_spec.t;
+  window : int;
+  slots_per_period : int;
+  delta : int;
+}
+
+type t = {
+  block_size : int;
+  bandwidth : int;
+  slot_rate : int;
+  program : Program.t;
+  files : file_plan list;
+  utilization : Q.t;
+}
+
+let default_candidates byte_rate =
+  let rec go b acc = if b > byte_rate then acc else go (2 * b) (b :: acc) in
+  go 1 []
+
+let specs_for ~block reqs =
+  (* None with a reason when the block size is structurally infeasible. *)
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | r :: rest ->
+        let m = Intmath.ceil_div r.bytes block in
+        if m + r.tolerance > 255 then
+          Error
+            (Printf.sprintf
+               "%s needs %d+%d dispersed blocks at %d-byte blocks (IDA caps \
+                at 255)"
+               r.name m r.tolerance block)
+        else
+          go
+            (File_spec.make ~name:r.name ~tolerance:r.tolerance ~id:r.id
+               ~blocks:m ~latency:r.latency_s ()
+            :: acc)
+            rest
+  in
+  go [] reqs
+
+let plan ?candidates ~byte_rate reqs =
+  if byte_rate < 1 then invalid_arg "Designer.plan: byte_rate must be >= 1";
+  if reqs = [] then invalid_arg "Designer.plan: no requirements";
+  let ids = List.map (fun r -> r.id) reqs in
+  if List.length (List.sort_uniq compare ids) <> List.length ids then
+    invalid_arg "Designer.plan: duplicate ids";
+  let candidates =
+    match candidates with
+    | Some c -> List.sort (fun a b -> compare b a) c
+    | None -> default_candidates byte_rate
+  in
+  let last_reason = ref "no candidate block size was given" in
+  let rec scan = function
+    | [] -> Error !last_reason
+    | block :: rest -> (
+        let slot_rate = byte_rate / block in
+        if slot_rate < 1 then begin
+          last_reason :=
+            Printf.sprintf "%d-byte blocks exceed the %d B/s channel" block
+              byte_rate;
+          scan rest
+        end
+        else
+          match specs_for ~block reqs with
+          | Error reason ->
+              last_reason := reason;
+              scan rest
+          | Ok specs -> (
+              match Program.pinwheel ~bandwidth:slot_rate specs with
+              | None ->
+                  last_reason :=
+                    Printf.sprintf
+                      "unschedulable at %d-byte blocks (demand %s of %d \
+                       slots/sec)"
+                      block
+                      (Q.to_string (Bandwidth.demand specs))
+                      slot_rate;
+                  scan rest
+              | Some program ->
+                  let files =
+                    List.map
+                      (fun spec ->
+                        {
+                          spec;
+                          window = File_spec.window spec ~bandwidth:slot_rate;
+                          slots_per_period =
+                            Program.occurrences_per_period program
+                              spec.File_spec.id;
+                          delta =
+                            (match Program.delta program spec.File_spec.id with
+                            | Some d -> d
+                            | None -> 0);
+                        })
+                      specs
+                  in
+                  Ok
+                    {
+                      block_size = block;
+                      bandwidth = slot_rate;
+                      slot_rate;
+                      program;
+                      files;
+                      utilization = Schedule.utilization (Program.schedule program);
+                    }))
+  in
+  scan candidates
+
+let pp ppf t =
+  Format.fprintf ppf
+    "broadcast-disk plan: %d-byte blocks, %d blocks/sec, period %d slots, \
+     data cycle %d, channel %s busy@."
+    t.block_size t.bandwidth
+    (Program.period t.program)
+    (Program.data_cycle t.program)
+    (Q.to_string t.utilization);
+  List.iter
+    (fun fp ->
+      Format.fprintf ppf
+        "  %-12s m=%-3d r=%d N=%-3d window=%-4d slots/period=%-3d Delta=%d@."
+        fp.spec.File_spec.name fp.spec.File_spec.blocks
+        fp.spec.File_spec.tolerance fp.spec.File_spec.capacity fp.window
+        fp.slots_per_period fp.delta)
+    t.files

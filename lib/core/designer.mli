@@ -1,0 +1,51 @@
+(** The end-to-end design assistant: from physical requirements to a
+    provisioned broadcast disk, in one call.
+
+    Input: the channel's {e byte} rate and, per file, the payload size in
+    bytes, the latency budget in seconds, and the block-loss count to
+    survive per retrieval. Output: a complete plan — the chosen block
+    size (largest feasible, per Section 5), the bandwidth in blocks/sec,
+    the broadcast program, and a per-file report of the guarantees the
+    program actually delivers (windows, spacing, per-fault worst cases).
+
+    This is the API a deployment would call; everything else in the
+    library is reachable from the plan for finer control. *)
+
+type requirement = {
+  id : int;
+  name : string;
+  bytes : int;
+  latency_s : int;
+  tolerance : int;
+}
+
+val requirement :
+  ?name:string -> ?tolerance:int -> id:int -> bytes:int -> latency_s:int ->
+  unit -> requirement
+
+type file_plan = {
+  spec : File_spec.t;  (** the derived broadcast file *)
+  window : int;  (** its pinwheel window [B·T], in slots *)
+  slots_per_period : int;
+  delta : int;  (** worst spacing between its consecutive blocks *)
+}
+
+type t = {
+  block_size : int;  (** bytes per block *)
+  bandwidth : int;  (** blocks per second *)
+  slot_rate : int;  (** slots per second the channel carries *)
+  program : Program.t;
+  files : file_plan list;
+  utilization : Pindisk_util.Q.t;  (** busy fraction of the channel *)
+}
+
+val plan :
+  ?candidates:int list -> byte_rate:int -> requirement list ->
+  (t, string) result
+(** [plan ~byte_rate reqs] chooses the largest feasible block size among
+    [candidates] (default: powers of two), derives each file's block
+    count and capacity, and builds the program. [Error] explains why no
+    candidate worked (with the limiting requirement when identifiable). *)
+
+val pp : Format.formatter -> t -> unit
+(** A human-readable deployment report. *)

@@ -1,0 +1,44 @@
+module Task = Pindisk_pinwheel.Task
+
+type t = {
+  id : int;
+  name : string;
+  blocks : int;
+  latency : int;
+  tolerance : int;
+  capacity : int;
+}
+
+let make ?name ?(tolerance = 0) ?capacity ~id ~blocks ~latency () =
+  if id < 0 then invalid_arg "File_spec.make: negative id";
+  if blocks < 1 then invalid_arg "File_spec.make: blocks must be >= 1";
+  if latency < 1 then invalid_arg "File_spec.make: latency must be >= 1";
+  if tolerance < 0 then invalid_arg "File_spec.make: negative tolerance";
+  let capacity =
+    match capacity with Some c -> c | None -> blocks + tolerance
+  in
+  if capacity < blocks + tolerance then
+    invalid_arg "File_spec.make: capacity below blocks + tolerance";
+  if capacity > 255 then
+    invalid_arg "File_spec.make: capacity exceeds the 255-block IDA limit";
+  let name = match name with Some n -> n | None -> Printf.sprintf "F%d" id in
+  { id; name; blocks; latency; tolerance; capacity }
+
+let window t ~bandwidth =
+  if bandwidth < 1 then invalid_arg "File_spec.window: bandwidth must be >= 1";
+  bandwidth * t.latency
+
+let to_task t ~bandwidth =
+  let b = window t ~bandwidth in
+  let a = t.blocks + t.tolerance in
+  if a > b then
+    invalid_arg
+      (Printf.sprintf
+         "File_spec.to_task: %s needs %d blocks in a %d-slot window; raise \
+          the bandwidth"
+         t.name a b);
+  Task.make ~id:t.id ~a ~b
+
+let pp ppf t =
+  Format.fprintf ppf "%s(id=%d, m=%d, T=%ds, r=%d, N=%d)" t.name t.id t.blocks
+    t.latency t.tolerance t.capacity

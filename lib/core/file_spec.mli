@@ -1,0 +1,38 @@
+(** Broadcast file specifications (Section 3.2 of the paper).
+
+    A broadcast file [F_i] is specified by a size [m_i] in blocks and a
+    latency [T_i] in seconds: every client must be able to reconstruct the
+    file from the broadcast within [T_i] seconds of tuning in. With
+    fault-tolerance [r_i], reconstruction must succeed even when up to [r_i]
+    block receptions fail per retrieval. Files are AIDA-dispersed to
+    [capacity >= m_i + r_i] distinct blocks, of which any [m_i]
+    reconstruct. *)
+
+type t = private {
+  id : int;
+  name : string;
+  blocks : int;  (** [m_i]: source blocks, enough to reconstruct *)
+  latency : int;  (** [T_i]: seconds allowed for retrieval *)
+  tolerance : int;  (** [r_i]: block losses to survive per retrieval *)
+  capacity : int;  (** [N_i]: distinct dispersed blocks cycled on air *)
+}
+
+val make :
+  ?name:string -> ?tolerance:int -> ?capacity:int -> id:int -> blocks:int ->
+  latency:int -> unit -> t
+(** [tolerance] defaults to 0, [capacity] to [blocks + tolerance], [name]
+    to ["F<id>"]. Raises [Invalid_argument] unless [id >= 0],
+    [1 <= blocks], [latency >= 1], [tolerance >= 0] and
+    [blocks + tolerance <= capacity <= 255] (the IDA limit). *)
+
+val window : t -> bandwidth:int -> int
+(** The pinwheel window [B·T_i] in slots: at [bandwidth] blocks/sec, the
+    latency budget spans that many block slots. *)
+
+val to_task : t -> bandwidth:int -> Pindisk_pinwheel.Task.t
+(** The paper's reduction: [F_i] becomes the pinwheel task
+    [(i, m_i + r_i, B·T_i)]. Raises [Invalid_argument] when the window is
+    too small to fit [m_i + r_i] blocks (bandwidth below the trivial
+    minimum for this file). *)
+
+val pp : Format.formatter -> t -> unit

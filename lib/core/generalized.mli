@@ -1,0 +1,40 @@
+(** Broadcast programs for generalized fault-tolerant real-time Bdisks
+    (Section 4 of the paper).
+
+    Here each file carries a latency {e vector} — latency as a function of
+    how many faults actually occur — expressed as a broadcast condition
+    {!Pindisk_algebra.Bc.t}. The pipeline is the paper's:
+
+    + Equation 3 turns each [bc] into a conjunct of pinwheel conditions;
+    + the pinwheel algebra ({!Pindisk_algebra.Convert}) rewrites the
+      conjunct into a {e nice} conjunct of minimum heuristic density, with
+      aliased pseudo-tasks carrying [map(i', i)];
+    + the pinwheel scheduler places the nice system;
+    + pseudo-tasks are projected back onto their files and the {e original}
+      broadcast conditions are re-verified on the projection;
+    + the file-level schedule plus AIDA capacities become a
+      {!Program.t}. *)
+
+module Q = Pindisk_util.Q
+module Bc = Pindisk_algebra.Bc
+
+type spec = { bc : Bc.t; capacity : int }
+(** One generalized file: its broadcast condition and the number of
+    distinct dispersed blocks on air ([capacity >= m + r]). *)
+
+val spec : ?capacity:int -> Bc.t -> spec
+(** [capacity] defaults to [m + r] (the minimum that lets [m + r] distinct
+    blocks land inside one [d⁽ʳ⁾]-window). Raises [Invalid_argument] if
+    below that minimum. *)
+
+val compiled_density : spec list -> Q.t
+(** Density of the nice conjunct the algebra produces — what the
+    density-bounded scheduler will be asked to place. *)
+
+val density_lower_bound : spec list -> Q.t
+(** Sum of the per-file lower bounds ({!Bc.density_lower_bound}). *)
+
+val program : spec list -> Program.t option
+(** The full pipeline. [None] when the scheduler cannot place the nice
+    system. The result is guaranteed (re-checked, not assumed) to satisfy
+    every input broadcast condition. *)

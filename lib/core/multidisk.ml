@@ -1,0 +1,115 @@
+module Intmath = Pindisk_util.Intmath
+module Schedule = Pindisk_pinwheel.Schedule
+
+type disk = { frequency : int; files : (int * int) list }
+
+let program disks =
+  if disks = [] then invalid_arg "Multidisk.program: no disks";
+  List.iter
+    (fun d ->
+      if d.frequency < 1 then invalid_arg "Multidisk.program: frequency must be >= 1";
+      if d.files = [] then invalid_arg "Multidisk.program: empty disk";
+      List.iter
+        (fun (f, m) ->
+          if f < 0 || m < 1 then invalid_arg "Multidisk.program: bad file")
+        d.files)
+    disks;
+  let ids = List.concat_map (fun d -> List.map fst d.files) disks in
+  if List.length (List.sort_uniq compare ids) <> List.length ids then
+    invalid_arg "Multidisk.program: duplicate file ids";
+  let max_freq = Intmath.max_list (List.map (fun d -> d.frequency) disks) in
+  List.iter
+    (fun d ->
+      if max_freq mod d.frequency <> 0 then
+        invalid_arg
+          (Printf.sprintf
+             "Multidisk.program: frequency %d does not divide the maximum %d"
+             d.frequency max_freq))
+    disks;
+  (* Per disk: the block sequence, split into (max_freq / frequency) equal
+     chunks (idle-padded), replayed chunk by chunk across minor cycles. *)
+  let chunked =
+    List.map
+      (fun d ->
+        let seq =
+          List.concat_map
+            (fun (f, m) -> List.init m (fun k -> (f, k)))
+            d.files
+        in
+        let num_chunks = max_freq / d.frequency in
+        let len = List.length seq in
+        let chunk_size = Intmath.ceil_div len num_chunks in
+        let arr = Array.of_list seq in
+        let chunk i =
+          List.init chunk_size (fun k ->
+              let off = (i * chunk_size) + k in
+              if off < len then arr.(off) else (Schedule.idle, 0))
+        in
+        (num_chunks, chunk))
+      disks
+  in
+  let layout =
+    List.concat_map
+      (fun minor ->
+        List.concat_map
+          (fun (num_chunks, chunk) -> chunk (minor mod num_chunks))
+          chunked)
+      (List.init max_freq (fun i -> i))
+  in
+  let capacities =
+    List.concat_map (fun d -> d.files) disks
+  in
+  Program.of_layout layout ~capacities
+
+let expected_delay prog file =
+  let sched = Program.schedule prog in
+  let occs = Schedule.occurrences sched file in
+  match occs with
+  | [] -> None
+  | _ ->
+      let p = Schedule.period sched in
+      (* For each start slot, the wait (inclusive) until the next
+         occurrence; averaging over one period covers all phases. *)
+      let occ_arr = Array.of_list occs in
+      let n = Array.length occ_arr in
+      let total = ref 0 in
+      let next_idx = ref 0 in
+      for t = 0 to p - 1 do
+        while !next_idx < n && occ_arr.(!next_idx) < t do
+          incr next_idx
+        done;
+        let next =
+          if !next_idx < n then occ_arr.(!next_idx) else occ_arr.(0) + p
+        in
+        total := !total + (next - t + 1)
+      done;
+      Some (float_of_int !total /. float_of_int p)
+
+let worst_case_retrieval_error_free prog file =
+  match Program.occurrences_per_period prog file with
+  | 0 -> None
+  | _ ->
+      let m = Program.capacity prog file in
+      let cycle = Program.data_cycle prog in
+      (* Tune in right after each occurrence (the worst phases) and count
+         slots until m distinct blocks are seen. *)
+      let starts = ref [ 0 ] in
+      for t = 0 to cycle - 1 do
+        match Program.block_at prog t with
+        | Some (f, _) when f = file -> starts := (t + 1) :: !starts
+        | Some _ | None -> ()
+      done;
+      let worst = ref 0 in
+      List.iter
+        (fun start ->
+          let collected = Hashtbl.create 16 in
+          let t = ref start in
+          while Hashtbl.length collected < m do
+            (match Program.block_at prog !t with
+            | Some (f, idx) when f = file -> Hashtbl.replace collected idx ()
+            | Some _ | None -> ());
+            incr t
+          done;
+          worst := max !worst (!t - start))
+        !starts;
+      Some !worst

@@ -1,0 +1,38 @@
+(** Classic frequency-based broadcast disks (Acharya, Alonso, Franklin &
+    Zdonik, SIGMOD'95) — the non-real-time baseline this paper generalizes.
+
+    The original Bdisk work assigns each file to one of several virtual
+    "disks spinning at different speeds": a disk's relative frequency says
+    how often its files recur per major cycle. Hot data goes on fast
+    disks, cold data on slow ones; the construction minimizes {e average}
+    latency but offers no per-file worst-case guarantee — which is exactly
+    the gap the paper's pinwheel construction closes. This module builds
+    the classic program so the benchmarks can compare the two.
+
+    Construction (as in the SIGMOD'95 paper): let [max_freq] be the
+    largest relative frequency; each disk [j] is split into
+    [max_freq / freq_j] {e chunks} (frequencies must divide [max_freq]);
+    the major cycle interleaves one chunk of every disk per minor cycle,
+    [max_freq] minor cycles per major cycle. *)
+
+type disk = { frequency : int; files : (int * int) list }
+(** A virtual disk: relative [frequency >= 1] and its [(file_id, blocks)]
+    assignments. *)
+
+val program : disk list -> Program.t
+(** Builds the broadcast program of the disk farm. Capacities are the
+    plain block counts (no IDA). Raises [Invalid_argument] when
+    frequencies do not divide the maximum frequency (the classic
+    construction's requirement), on duplicate file ids, or on empty
+    input. *)
+
+val expected_delay : Program.t -> int -> float option
+(** Mean wait, over a uniformly random tune-in slot, until the {e next}
+    occurrence of the file — the average-latency metric the classic work
+    optimizes ([None] if the file never appears). For a file broadcast
+    with exact period [p] this is [(p+1)/2]. *)
+
+val worst_case_retrieval_error_free : Program.t -> int -> int option
+(** Worst-case slots to collect all of the file's blocks tuning in at the
+    worst slot — the guarantee metric the paper cares about. Exact (scans
+    one data cycle); [None] if the file never appears. *)

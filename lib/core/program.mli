@@ -1,0 +1,87 @@
+(** Broadcast programs: what the server actually transmits, slot by slot.
+
+    A broadcast program is an infinite function from time slots to blocks.
+    It factors into two cyclic layers (Section 2.3 and Figure 6 of the
+    paper):
+
+    - the {e broadcast period}: a cyclic {!Pindisk_pinwheel.Schedule.t}
+      assigning each slot a file (or idle) — enough slots per period for
+      every file to be reconstructed;
+    - the {e program data cycle}: the [k]-th transmission of file [i]
+      carries dispersed block [k mod N_i], so consecutive transmissions of
+      a file carry {e distinct} blocks, cycling through all [N_i] on-air
+      blocks. The data cycle is the period after which slot {e contents}
+      (not just file labels) repeat.
+
+    With [N_i = m_i] and no dispersal this degenerates to the flat program
+    of Figure 5 (the same physical block returns only once per data
+    cycle); with IDA it is the AIDA-based program of Figure 6. *)
+
+module Schedule = Pindisk_pinwheel.Schedule
+
+type t
+
+val make : schedule:Schedule.t -> capacities:(int * int) list -> t
+(** [make ~schedule ~capacities] pairs a slot-to-file schedule with each
+    file's on-air block count [N_i >= 1]. Every file appearing in the
+    schedule must have a capacity. *)
+
+val schedule : t -> Schedule.t
+val period : t -> int
+(** The broadcast period [τ]. *)
+
+val files : t -> int list
+val capacity : t -> int -> int
+(** Raises [Not_found] for a file not in the program. *)
+
+val block_at : t -> int -> (int * int) option
+(** [block_at p slot] is [Some (file, block_index)] for a busy slot — the
+    self-identifying pair broadcast there — or [None] for an idle slot.
+    Valid for every [slot >= 0]; contents repeat with {!data_cycle}. *)
+
+val data_cycle : t -> int
+(** The program data cycle: the least multiple [L] of the period such that
+    [block_at] is [L]-periodic. Figure 6's program has period 8 and data
+    cycle 16. *)
+
+val delta : t -> int -> int option
+(** [delta p i] is [Δ_i], the maximum spacing between consecutive
+    transmissions of file [i] (Lemma 2's recovery bound is [r·Δ]); [None]
+    if the file never appears. *)
+
+val occurrences_per_period : t -> int -> int
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Builders} *)
+
+val of_layout : (int * int) list -> capacities:(int * int) list -> t
+(** [of_layout slots ~capacities] builds a program from an explicit one-
+    period layout given as [(file, block_index)] pairs — e.g. the paper's
+    Figure 5/6 toy programs verbatim. The block indices must follow the
+    cycling discipline ([k]-th occurrence of file [i] carries block
+    [k mod N_i] for some fixed per-file phase); this is checked, because
+    {!block_at} recomputes indices arithmetically. Use [(-1, 0)] for idle
+    slots. *)
+
+val flat : (int * int) list -> t
+(** [flat files] is the non-IDA flat program of Figure 5 for [(id, m)]
+    pairs: a broadcast period of [Σ m_i] slots, each file granted [m_i]
+    slots spread evenly (earliest-deadline interleaving), capacities
+    [N_i = m_i] (every period repeats the same [m_i] physical blocks). *)
+
+val aida_flat : (int * int * int) list -> t
+(** [aida_flat files] is the AIDA-based flat program of Figure 6 for
+    [(id, m, n)] triples: the same [Σ m_i]-slot layout as {!flat} but with
+    capacities [N_i = n >= m], so consecutive periods transmit different
+    dispersed blocks. *)
+
+val pinwheel : bandwidth:int -> File_spec.t list -> t option
+(** The paper's headline construction (Section 3.2): files become the
+    pinwheel system [{(i, m_i + r_i, B·T_i)}]; the resulting schedule is
+    the broadcast period, and the AIDA capacities [N_i] drive the block
+    cycling. [None] when the scheduler fails at this bandwidth. *)
+
+val auto : File_spec.t list -> (int * t) option
+(** {!pinwheel} at the smallest bandwidth {!Bandwidth.minimum} finds,
+    returning the bandwidth too. *)

@@ -1,0 +1,79 @@
+type t = int
+
+let zero = 0
+let one = 1
+
+(* x^8 + x^4 + x^3 + x + 1, the AES reduction polynomial. *)
+let poly = 0x11b
+
+(* Carry-less multiply-and-reduce, used only to build the tables. *)
+let slow_mul a b =
+  let rec go acc a b =
+    if b = 0 then acc
+    else
+      let acc = if b land 1 = 1 then acc lxor a else acc in
+      let a = a lsl 1 in
+      let a = if a land 0x100 <> 0 then a lxor poly else a in
+      go acc a (b lsr 1)
+  in
+  go 0 (a land 0xff) (b land 0xff)
+
+(* exp_table.(k) = 3^k for k in [0, 509]; doubled so that
+   [exp_table.(log a + log b)] needs no modular reduction. *)
+let exp_table = Array.make 510 0
+
+let log_table = Array.make 256 0
+
+let () =
+  let x = ref 1 in
+  for k = 0 to 254 do
+    exp_table.(k) <- !x;
+    exp_table.(k + 255) <- !x;
+    log_table.(!x) <- k;
+    x := slow_mul !x 3
+  done
+
+let add a b = (a lxor b) land 0xff
+let sub = add
+
+let mul a b =
+  let a = a land 0xff and b = b land 0xff in
+  if a = 0 || b = 0 then 0 else exp_table.(log_table.(a) + log_table.(b))
+
+let inv a =
+  let a = a land 0xff in
+  if a = 0 then raise Division_by_zero;
+  exp_table.(255 - log_table.(a))
+
+let div a b = mul a (inv b)
+
+let exp k =
+  let k = ((k mod 255) + 255) mod 255 in
+  exp_table.(k)
+
+let log a =
+  let a = a land 0xff in
+  if a = 0 then invalid_arg "Gf256.log: zero has no discrete log";
+  log_table.(a)
+
+let axpy ~acc ~coeff ~src =
+  if Bytes.length acc <> Bytes.length src then
+    invalid_arg "Gf256.axpy: length mismatch";
+  let coeff = coeff land 0xff in
+  if coeff <> 0 then begin
+    let lc = log_table.(coeff) in
+    for i = 0 to Bytes.length acc - 1 do
+      let s = Char.code (Bytes.unsafe_get src i) in
+      if s <> 0 then
+        Bytes.unsafe_set acc i
+          (Char.unsafe_chr
+             (Char.code (Bytes.unsafe_get acc i)
+             lxor exp_table.(lc + log_table.(s))))
+    done
+  end
+
+let pow x k =
+  if k < 0 then invalid_arg "Gf256.pow: negative exponent";
+  let x = x land 0xff in
+  if x = 0 then (if k = 0 then 1 else 0)
+  else exp (log_table.(x) * k)

@@ -1,0 +1,47 @@
+(** Arithmetic in the finite field GF(2{^8}).
+
+    This is the substrate for the Information Dispersal Algorithm (Rabin
+    1989; Bestavros 1990): dispersal and reconstruction are matrix
+    multiplications over "a particular irreducible polynomial" — we use the
+    AES polynomial [x^8 + x^4 + x^3 + x + 1] (0x11B).
+
+    Field elements are represented as [int]s in [0, 255]. All operations are
+    table-driven (log/antilog over the generator 3), so multiplication and
+    inversion are O(1) lookups. Arguments outside [0, 255] are masked to
+    their low byte. *)
+
+type t = int
+(** A field element in [0, 255]. *)
+
+val zero : t
+val one : t
+
+val add : t -> t -> t
+(** Addition = subtraction = XOR in characteristic 2. *)
+
+val sub : t -> t -> t
+
+val mul : t -> t -> t
+
+val div : t -> t -> t
+(** Raises [Division_by_zero] on a zero divisor. *)
+
+val inv : t -> t
+(** Multiplicative inverse; raises [Division_by_zero] on [0]. *)
+
+val pow : t -> int -> t
+(** [pow x k] for [k >= 0]; [pow 0 0 = 1] by convention. *)
+
+val exp : int -> t
+(** [exp k] is the generator [3] raised to the [k]-th power (k taken
+    mod 255). *)
+
+val axpy : acc:bytes -> coeff:t -> src:bytes -> unit
+(** [axpy ~acc ~coeff ~src] performs [acc.(i) <- acc.(i) + coeff * src.(i)]
+    for every byte — the inner loop of dispersal and reconstruction, with
+    the discrete log of [coeff] looked up once for the whole buffer.
+    Raises [Invalid_argument] when lengths differ. [coeff = 0] is a
+    no-op. *)
+
+val log : t -> int
+(** Discrete log base 3; raises [Invalid_argument] on [0]. *)

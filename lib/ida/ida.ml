@@ -1,0 +1,99 @@
+module Gf256 = Pindisk_gf256.Gf256
+module Matrix = Pindisk_gf256.Matrix
+
+type piece = { index : int; data : bytes }
+
+type t = {
+  m : int;
+  dispersal : Matrix.t; (* 255 x m Vandermonde; row i produces piece i *)
+  inverses : (int list, Matrix.t) Hashtbl.t; (* keyed by sorted row indices *)
+}
+
+let create ~m =
+  if m < 1 || m > 255 then invalid_arg "Ida.create: m must be in [1, 255]";
+  {
+    m;
+    dispersal = Matrix.vandermonde ~rows:255 ~cols:m;
+    inverses = Hashtbl.create 16;
+  }
+
+let m t = t.m
+
+let piece_size t ~file_size =
+  if file_size < 0 then invalid_arg "Ida.piece_size: negative size";
+  (file_size + t.m - 1) / t.m
+
+let disperse t ~n file =
+  if n < t.m || n > 255 then invalid_arg "Ida.disperse: need m <= n <= 255";
+  let s = piece_size t ~file_size:(Bytes.length file) in
+  (* Source block j holds file bytes [j*s, (j+1)*s), zero-padded; extract
+     once so the hot loop is a table-driven axpy per (piece, block). *)
+  let blocks =
+    Array.init t.m (fun j ->
+        let b = Bytes.make s '\000' in
+        let off = j * s in
+        let len = min s (Bytes.length file - off) in
+        if len > 0 then Bytes.blit file off b 0 len;
+        b)
+  in
+  Array.init n (fun i ->
+      let data = Bytes.make s '\000' in
+      for j = 0 to t.m - 1 do
+        Gf256.axpy ~acc:data ~coeff:(Matrix.get t.dispersal i j) ~src:blocks.(j)
+      done;
+      { index = i; data })
+
+let inverse_for t indices =
+  let key = Array.to_list indices in
+  match Hashtbl.find_opt t.inverses key with
+  | Some inv -> inv
+  | None -> (
+      let sub = Matrix.select_rows t.dispersal indices in
+      match Matrix.invert sub with
+      | None ->
+          (* Unreachable: any m distinct Vandermonde rows are independent. *)
+          assert false
+      | Some inv ->
+          Hashtbl.add t.inverses key inv;
+          inv)
+
+let reconstruct t ~length pieces =
+  if length < 0 then invalid_arg "Ida.reconstruct: negative length";
+  (* Keep the first piece seen for each index, in sorted index order. *)
+  let by_index =
+    List.sort_uniq (fun a b -> compare a.index b.index) pieces
+  in
+  if List.length by_index < t.m then
+    invalid_arg "Ida.reconstruct: fewer than m distinct pieces";
+  let chosen = Array.of_list by_index in
+  let chosen = Array.sub chosen 0 t.m in
+  let s = Bytes.length chosen.(0).data in
+  Array.iter
+    (fun p ->
+      if p.index < 0 || p.index > 254 then
+        invalid_arg "Ida.reconstruct: piece index out of range";
+      if Bytes.length p.data <> s then
+        invalid_arg "Ida.reconstruct: piece sizes disagree")
+    chosen;
+  if length > s * t.m then
+    invalid_arg "Ida.reconstruct: length exceeds encoded data";
+  let inv = inverse_for t (Array.map (fun p -> p.index) chosen) in
+  let out = Bytes.create length in
+  (* Source block j = sum over received pieces k of inv[j][k] * piece_k,
+     computed as one axpy per (j, k) and blitted (trimmed of padding)
+     into place. *)
+  let block = Bytes.create s in
+  for j = 0 to t.m - 1 do
+    Bytes.fill block 0 s '\000';
+    for k = 0 to t.m - 1 do
+      Gf256.axpy ~acc:block ~coeff:(Matrix.get inv j k) ~src:chosen.(k).data
+    done;
+    let off = j * s in
+    let len = min s (length - off) in
+    if len > 0 then Bytes.blit block 0 out off len
+  done;
+  out
+
+let overhead ~m ~n =
+  if m <= 0 then invalid_arg "Ida.overhead: m must be positive";
+  float_of_int n /. float_of_int m

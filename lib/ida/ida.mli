@@ -1,0 +1,50 @@
+(** Rabin's Information Dispersal Algorithm over GF(2{^8}).
+
+    A file is split into [m] source blocks and *dispersed* into [n >= m]
+    blocks ([n <= 255]) such that {e any} [m] of the dispersed blocks suffice
+    to reconstruct the file exactly (Section 2.1 of the paper). Dispersal and
+    reconstruction are matrix multiplications: the dispersal matrix is an
+    [n x m] Vandermonde matrix (any [m] rows are independent), and
+    reconstruction inverts the [m x m] submatrix corresponding to the rows
+    that were actually received.
+
+    Dispersed blocks are {e self-identifying}: each {!piece} carries the
+    index of the dispersal-matrix row that produced it, which is what lets a
+    client pick the correct inverse transformation (the paper assumes the
+    same of broadcast blocks). *)
+
+type piece = { index : int; data : bytes }
+(** One dispersed block: [index] identifies the dispersal-matrix row
+    (block "[index+1] out of [n]"), [data] its payload. Every piece of a
+    dispersal has the same payload size [ceil (file_size / m)]. *)
+
+type t
+(** A dispersal context for fixed [m]: caches the dispersal matrix and the
+    reconstruction inverses for row subsets already seen (the paper notes
+    the inverse transformations "could be precomputed"). Contexts are cheap;
+    reuse one per file class for speed. *)
+
+val create : m:int -> t
+(** [create ~m] prepares dispersal with [m] source blocks,
+    [1 <= m <= 255]. *)
+
+val m : t -> int
+
+val disperse : t -> n:int -> bytes -> piece array
+(** [disperse t ~n file] produces [n] dispersed blocks, [m <= n <= 255].
+    [file] is padded internally to a multiple of [m] bytes; use
+    {!reconstruct} with the original length to strip the padding. The result
+    has pieces in index order [0 .. n-1]. *)
+
+val piece_size : t -> file_size:int -> int
+(** Payload size of each dispersed block for a file of [file_size] bytes:
+    [ceil (file_size / m)] (0 gives 0). *)
+
+val reconstruct : t -> length:int -> piece list -> bytes
+(** [reconstruct t ~length pieces] rebuilds the original file of [length]
+    bytes from any [>= m t] distinct pieces (extras are ignored). Raises
+    [Invalid_argument] if fewer than [m] distinct indices are supplied, if
+    piece sizes disagree, or if [length] exceeds what the pieces encode. *)
+
+val overhead : m:int -> n:int -> float
+(** Bandwidth expansion factor [n/m] of a dispersal level. *)

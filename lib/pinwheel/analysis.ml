@@ -1,0 +1,120 @@
+module Q = Pindisk_util.Q
+module Intmath = Pindisk_util.Intmath
+
+type certificate =
+  | Density_above_one of Q.t
+  | Pigeonhole of { window : int; demand : int }
+  | Exhausted
+
+type verdict = Schedulable of Schedule.t | Infeasible of certificate | Unknown
+
+type report = {
+  density : Q.t;
+  harmonic : bool;
+  distinct_windows : int;
+  unit_system : bool;
+  within_sa_guarantee : bool;
+  certificate : certificate option;
+  verdict : verdict;
+}
+
+let pigeonhole_violation sys =
+  let windows = List.map (fun t -> t.Task.b) sys in
+  (* If the density exceeds 1 then w = lcm(windows) is a witness
+     (demand(lcm) = lcm * density > lcm), so scanning up to the lcm is
+     complete whenever it is affordable. *)
+  let cap =
+    match Intmath.lcm_list windows with
+    | lcm -> min 100_000 lcm
+    | exception Intmath.Overflow -> 100_000
+  in
+  (* The demand function only jumps at multiples of some window, so only
+     those w need checking. *)
+  let candidates =
+    List.concat_map
+      (fun b -> List.init (cap / b) (fun k -> (k + 1) * b))
+      (List.sort_uniq compare windows)
+    |> List.sort_uniq compare
+  in
+  let demand w =
+    Intmath.sum (List.map (fun t -> t.Task.a * (w / t.Task.b)) sys)
+  in
+  let rec scan = function
+    | [] -> None
+    | w :: rest ->
+        let d = demand w in
+        if d > w then Some (w, d) else scan rest
+  in
+  scan candidates
+
+let is_harmonic sys =
+  let windows = List.sort_uniq compare (List.map (fun t -> t.Task.b) sys) in
+  let rec go = function
+    | a :: (b :: _ as rest) -> b mod a = 0 && go rest
+    | _ -> true
+  in
+  go windows
+
+let analyze ?(exact_states = 500_000) sys =
+  (match Task.check_system sys with
+  | Error e -> invalid_arg ("Analysis.analyze: " ^ e)
+  | Ok () -> ());
+  if sys = [] then invalid_arg "Analysis.analyze: empty system";
+  let density = Task.system_density sys in
+  let unit_system = Task.is_unit_system sys in
+  let certificate =
+    if Q.( > ) density Q.one then Some (Density_above_one density)
+    else
+      match pigeonhole_violation sys with
+      | Some (window, demand) -> Some (Pigeonhole { window; demand })
+      | None -> None
+  in
+  let verdict =
+    match certificate with
+    | Some c -> Infeasible c
+    | None -> (
+        match Scheduler.schedule ~algorithm:Scheduler.Auto sys with
+        | Some sched -> Schedulable sched
+        | None ->
+            if unit_system then
+              match Exact.decide ~max_states:exact_states sys with
+              | Exact.Feasible sched -> Schedulable sched
+              | Exact.Infeasible -> Infeasible Exhausted
+              | Exact.Too_large -> Unknown
+            else Unknown)
+  in
+  let certificate =
+    match (certificate, verdict) with
+    | None, Infeasible c -> Some c
+    | c, _ -> c
+  in
+  {
+    density;
+    harmonic = is_harmonic sys;
+    distinct_windows =
+      List.length (List.sort_uniq compare (List.map (fun t -> t.Task.b) sys));
+    unit_system;
+    within_sa_guarantee = Q.( <= ) density (Q.make 1 2);
+    certificate;
+    verdict;
+  }
+
+let pp_certificate ppf = function
+  | Density_above_one d -> Format.fprintf ppf "density %a > 1" Q.pp d
+  | Pigeonhole { window; demand } ->
+      Format.fprintf ppf
+        "pigeonhole: every %d-slot span is forced to carry %d demands" window
+        demand
+  | Exhausted -> Format.fprintf ppf "exhaustive search: no infinite schedule"
+
+let pp_report ppf r =
+  Format.fprintf ppf "density %a%s; %d distinct window(s)%s%s; " Q.pp r.density
+    (if r.within_sa_guarantee then " (within the 1/2 guarantee)" else "")
+    r.distinct_windows
+    (if r.harmonic then ", harmonic" else "")
+    (if r.unit_system then "" else ", multi-unit");
+  match r.verdict with
+  | Schedulable sched ->
+      Format.fprintf ppf "SCHEDULABLE (period %d)" (Schedule.period sched)
+  | Infeasible c -> Format.fprintf ppf "INFEASIBLE: %a" pp_certificate c
+  | Unknown -> Format.fprintf ppf "UNKNOWN (heuristics failed, too large for exact search)"

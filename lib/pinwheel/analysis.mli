@@ -1,0 +1,59 @@
+(** Schedulability analysis and diagnosis for pinwheel systems.
+
+    Answers not just {e whether} a system is schedulable but {e why not}
+    when it is not — with machine-checkable certificates — and which
+    structural properties the constructive schedulers can exploit.
+
+    Infeasibility certificates:
+    - density above 1 (the basic necessary condition of Section 3.1);
+    - a {e pigeonhole window}: a window length [w] into which the tasks
+      collectively force more than [w] slot demands
+      ([Σ_i a_i·⌊w/b_i⌋ > w] — every aligned span of [w] slots is
+      over-committed);
+    - exhaustion: the exact state-space search proved no infinite
+      schedule exists (small unit systems only).
+
+    The classification records whether the windows are harmonic (every
+    window divides every larger one — schedulable iff density <= 1, by
+    construction), take at most two distinct values (the Holte et al.
+    two-distinct-numbers regime), or sit within a scheduler's guarantee
+    (density <= 1/2 for the reduction schedulers). *)
+
+module Q = Pindisk_util.Q
+
+type certificate =
+  | Density_above_one of Q.t
+  | Pigeonhole of { window : int; demand : int }
+      (** [demand > window] forced slot demands in every aligned
+          [window]-slot span *)
+  | Exhausted  (** exact search: no infinite schedule exists *)
+
+type verdict =
+  | Schedulable of Schedule.t
+  | Infeasible of certificate
+  | Unknown  (** heuristics failed; instance too large for exact search *)
+
+type report = {
+  density : Q.t;
+  harmonic : bool;  (** windows pairwise divide *)
+  distinct_windows : int;
+  unit_system : bool;
+  within_sa_guarantee : bool;  (** density <= 1/2 *)
+  certificate : certificate option;  (** first infeasibility proof found *)
+  verdict : verdict;
+}
+
+val pigeonhole_violation : Task.system -> (int * int) option
+(** The smallest window [w] (searched up to the product of the two
+    largest windows, capped at 100,000) with [Σ a_i·⌊w/b_i⌋ > w], with
+    its demand. *)
+
+val is_harmonic : Task.system -> bool
+
+val analyze : ?exact_states:int -> Task.system -> report
+(** Full analysis: certificates first, then the constructive schedulers,
+    then (for unit systems within [exact_states], default 500,000) the
+    exact decision. Raises [Invalid_argument] on empty or duplicate-id
+    systems. *)
+
+val pp_report : Format.formatter -> report -> unit

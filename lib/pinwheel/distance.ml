@@ -1,0 +1,25 @@
+type task = { id : int; distance : int }
+
+let make ~id ~distance =
+  if id < 0 then invalid_arg "Distance.make: negative id";
+  if distance < 1 then invalid_arg "Distance.make: distance must be >= 1";
+  { id; distance }
+
+let to_pinwheel tasks =
+  let sys = List.map (fun t -> Task.unit ~id:t.id ~b:t.distance) tasks in
+  match Task.check_system sys with
+  | Ok () -> sys
+  | Error e -> invalid_arg ("Distance.to_pinwheel: " ^ e)
+
+let respects_distances sched tasks =
+  List.for_all
+    (fun t ->
+      match Schedule.max_gap sched t.id with
+      | Some g -> g <= t.distance
+      | None -> false)
+    tasks
+
+let schedule ?algorithm tasks =
+  match Scheduler.schedule ?algorithm (to_pinwheel tasks) with
+  | Some sched when respects_distances sched tasks -> Some sched
+  | Some _ | None -> None

@@ -1,0 +1,27 @@
+(** Distance-constrained task systems (Han & Lin, RTSS'92 — one of the
+    pinwheel applications the paper cites in Section 3).
+
+    A distance-constrained task must have {e consecutive completions at
+    most [c] slots apart} — a sliding-separation requirement, strictly
+    stronger for its purpose than a period: jitter cannot stretch any
+    inter-completion gap past [c]. For unit-execution tasks this is
+    precisely the single-unit pinwheel condition [pc(1, c)], which is how
+    this module schedules them; the distance property is then re-checked
+    {e as a gap condition}, independently of the pinwheel verifier. *)
+
+type task = { id : int; distance : int }
+
+val make : id:int -> distance:int -> task
+(** Raises [Invalid_argument] unless [id >= 0] and [distance >= 1]. *)
+
+val to_pinwheel : task list -> Task.system
+(** The equivalent single-unit pinwheel system. Raises on duplicate
+    ids. *)
+
+val schedule : ?algorithm:Scheduler.algorithm -> task list -> Schedule.t option
+(** Schedule via the pinwheel reduction; the result additionally passes
+    {!respects_distances}. *)
+
+val respects_distances : Schedule.t -> task list -> bool
+(** Every task's maximum cyclic gap between consecutive occurrences is at
+    most its distance (and the task does occur). *)

@@ -1,0 +1,97 @@
+module Intmath = Pindisk_util.Intmath
+module Q = Pindisk_util.Q
+
+type assignment = { key : int; offset : int; period : int }
+
+(* A free residue class within a column: the frame indices congruent to
+   [residue] modulo [modulus] (modulus a power of two). *)
+type free_class = { residue : int; modulus : int }
+
+let chain_exponent ~x period =
+  if period < x || period mod x <> 0 then None
+  else
+    let q = period / x in
+    if Intmath.is_power_of_two q then Some (Intmath.floor_log2 q) else None
+
+let pack ~x tasks =
+  if x < 1 then invalid_arg "Harmonic.pack: x must be >= 1";
+  let with_exp =
+    List.map
+      (fun (key, period) ->
+        match chain_exponent ~x period with
+        | Some k -> (key, period, k)
+        | None ->
+            invalid_arg
+              (Printf.sprintf
+                 "Harmonic.pack: period %d is not of the form %d*2^k" period x))
+      tasks
+  in
+  let density = Q.sum (List.map (fun (_, p, _) -> Q.make 1 p) with_exp) in
+  if Q.( > ) density Q.one then None
+  else begin
+    (* Sort by increasing period so that buddy splitting never fragments. *)
+    let sorted = List.sort (fun (_, p, _) (_, q, _) -> compare p q) with_exp in
+    (* Per column, the free residue classes, kept sorted by decreasing
+       modulus is unnecessary: we search for the best (largest-modulus <=
+       wanted) class each time; columns hold few classes. *)
+    let free = Array.make x [ { residue = 0; modulus = 1 } ] in
+    let place (key, period, k) =
+      let wanted = 1 lsl k in
+      (* Best fit: the free class with the largest modulus <= wanted, over
+         all columns (tightest hole first limits fragmentation). *)
+      let best = ref None in
+      Array.iteri
+        (fun col classes ->
+          List.iter
+            (fun c ->
+              if c.modulus <= wanted then
+                match !best with
+                | Some (_, c', _) when c'.modulus >= c.modulus -> ()
+                | _ -> best := Some (col, c, classes))
+            classes)
+        free;
+      match !best with
+      | None -> None
+      | Some (col, c, _) ->
+          (* Claim the subclass [c.residue mod wanted]; the complement
+             splits into binary siblings at each level between c.modulus and
+             wanted. *)
+          let remaining = List.filter (fun c' -> c' <> c) free.(col) in
+          let rec split siblings m =
+            if m >= wanted then siblings
+            else
+              split ({ residue = c.residue + m; modulus = 2 * m } :: siblings) (2 * m)
+          in
+          free.(col) <- split remaining c.modulus;
+          Some { key; offset = col + (x * c.residue); period }
+    in
+    let rec go acc = function
+      | [] -> Some (List.rev acc)
+      | t :: rest -> (
+          match place t with
+          | None ->
+              (* Unreachable when density <= 1 (see interface); defensive. *)
+              None
+          | Some a -> go (a :: acc) rest)
+    in
+    go [] sorted
+  end
+
+let schedule_of ~x assignments =
+  ignore x;
+  let hyper =
+    match assignments with
+    | [] -> 1
+    | _ -> Intmath.max_list (List.map (fun a -> a.period) assignments)
+  in
+  let slots = Array.make hyper Schedule.idle in
+  List.iter
+    (fun a ->
+      let t = ref a.offset in
+      while !t < hyper do
+        assert (slots.(!t) = Schedule.idle);
+        slots.(!t) <- a.key;
+        t := !t + a.period
+      done)
+    assignments;
+  Schedule.make slots

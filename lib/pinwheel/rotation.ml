@@ -1,0 +1,93 @@
+module Intmath = Pindisk_util.Intmath
+
+type column = { mutable members : int list (* keys, reversed *); mutable min_window : int }
+
+let assign ~g units =
+  if g < 1 then invalid_arg "Rotation.assign: g must be >= 1";
+  let sorted = List.sort (fun (_, b1) (_, b2) -> compare b1 b2) units in
+  let columns = Array.init g (fun _ -> { members = []; min_window = max_int }) in
+  let place (key, b) =
+    (* First fit: a column accepts the task iff the round-robin period
+       after joining, g * (size + 1), still fits the column's tightest
+       window (windows arrive in ascending order, so the tightest is
+       already there). *)
+    let rec go c =
+      if c >= g then false
+      else
+        let col = columns.(c) in
+        let size = List.length col.members in
+        let limit = min col.min_window b in
+        if g * (size + 1) <= limit then begin
+          col.members <- key :: col.members;
+          col.min_window <- limit;
+          true
+        end
+        else go (c + 1)
+    in
+    go 0
+  in
+  let rec run = function
+    | [] ->
+        Some
+          (Array.to_list columns
+          |> List.mapi (fun c col ->
+                 let members = List.rev col.members in
+                 let k = List.length members in
+                 List.map (fun key -> (key, c, k)) members)
+          |> List.concat)
+    | u :: rest -> if place u then run rest else None
+  in
+  run sorted
+
+let schedule_with_base ~g sys =
+  match Task.check_system sys with
+  | Error _ -> None
+  | Ok () -> (
+      let units = Task.decompose_units sys in
+      match assign ~g units with
+      | None -> None
+      | Some placements ->
+          (* Column c with k members has round-robin period g*k; the
+             hyperperiod is g * lcm of the class sizes. *)
+          let sizes =
+            List.sort_uniq compare (List.map (fun (_, _, k) -> k) placements)
+          in
+          let sizes = if sizes = [] then [ 1 ] else sizes in
+          (match Intmath.lcm_list sizes with
+          | exception Intmath.Overflow -> None
+          | l when l > 1_000_000 -> None
+          | l ->
+              let period = g * l in
+              let slots = Array.make period Schedule.idle in
+              (* Rebuild per-column member arrays for slot lookup. *)
+              let by_column = Array.make g [||] in
+              List.iter
+                (fun c ->
+                  let members =
+                    List.filter (fun (_, c', _) -> c' = c) placements
+                    |> List.map (fun (key, _, _) -> key)
+                  in
+                  by_column.(c) <- Array.of_list members)
+                (List.init g (fun c -> c));
+              for t = 0 to period - 1 do
+                let c = t mod g in
+                let members = by_column.(c) in
+                let k = Array.length members in
+                if k > 0 then slots.(t) <- members.((t / g) mod k)
+              done;
+              let sched = Schedule.make slots in
+              if Verify.satisfies sched sys then Some sched else None))
+
+let schedule sys =
+  match sys with
+  | [] -> None
+  | _ ->
+      let min_b = List.fold_left (fun acc t -> min acc t.Task.b) max_int sys in
+      let rec go g =
+        if g < 1 then None
+        else
+          match schedule_with_base ~g sys with
+          | Some sched -> Some sched
+          | None -> go (g - 1)
+      in
+      go min_b

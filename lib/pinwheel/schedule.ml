@@ -1,0 +1,67 @@
+module Q = Pindisk_util.Q
+
+let idle = -1
+
+type t = { period : int; slots : int array }
+
+let make slots =
+  if Array.length slots = 0 then invalid_arg "Schedule.make: empty period";
+  Array.iter
+    (fun v -> if v < -1 then invalid_arg "Schedule.make: bad slot value")
+    slots;
+  { period = Array.length slots; slots = Array.copy slots }
+
+let period s = s.period
+
+let task_at s t =
+  if t < 0 then invalid_arg "Schedule.task_at: negative slot";
+  s.slots.(t mod s.period)
+
+let occurrences s i =
+  let acc = ref [] in
+  for t = s.period - 1 downto 0 do
+    if s.slots.(t) = i then acc := t :: !acc
+  done;
+  !acc
+
+let count s i = List.length (occurrences s i)
+
+let task_ids s =
+  Array.to_list s.slots
+  |> List.filter (fun v -> v <> idle)
+  |> List.sort_uniq Stdlib.compare
+
+let utilization s =
+  let busy = Array.fold_left (fun n v -> if v = idle then n else n + 1) 0 s.slots in
+  Q.make busy s.period
+
+let max_gap s i =
+  match occurrences s i with
+  | [] -> None
+  | [ t ] ->
+      ignore t;
+      Some s.period
+  | first :: _ as occs ->
+      (* Gaps between consecutive occurrences, wrapping around the period. *)
+      let rec go prev acc = function
+        | [] -> max acc (first + s.period - prev)
+        | t :: rest -> go t (max acc (t - prev)) rest
+      in
+      Some (go first 0 (List.tl occs))
+
+let rotate s k =
+  let k = ((k mod s.period) + s.period) mod s.period in
+  { period = s.period; slots = Array.init s.period (fun t -> s.slots.((t + k) mod s.period)) }
+
+let map_tasks s f =
+  {
+    period = s.period;
+    slots = Array.map (fun v -> if v = idle then idle else f v) s.slots;
+  }
+
+let pp ppf s =
+  Array.iteri
+    (fun t v ->
+      if t > 0 then Format.fprintf ppf " ";
+      if v = idle then Format.fprintf ppf "." else Format.fprintf ppf "%d" v)
+    s.slots

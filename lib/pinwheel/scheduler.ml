@@ -1,0 +1,71 @@
+module Q = Pindisk_util.Q
+
+let src = Logs.Src.create "pindisk.scheduler" ~doc:"Pinwheel scheduler decisions"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type algorithm = Sa | Sx | Sr | Sxy | Exact_small | Auto
+
+let pp_algorithm ppf = function
+  | Sa -> Format.fprintf ppf "Sa"
+  | Sx -> Format.fprintf ppf "Sx"
+  | Sr -> Format.fprintf ppf "Sr"
+  | Sxy -> Format.fprintf ppf "Sxy"
+  | Exact_small -> Format.fprintf ppf "exact"
+  | Auto -> Format.fprintf ppf "auto"
+
+let exact_small sys =
+  if not (Task.is_unit_system sys) then None
+  else
+    match Exact.decide ~max_states:2_000_000 sys with
+    | Exact.Feasible sched -> Some sched
+    | Exact.Infeasible | Exact.Too_large -> None
+
+let rec run algorithm sys =
+  match algorithm with
+  | Sa -> Specialize.sa sys
+  | Sx -> Specialize.sx sys
+  | Sr -> Rotation.schedule sys
+  | Sxy -> Two_chain.schedule sys
+  | Exact_small -> exact_small sys
+  | Auto -> (
+      match run Sx sys with
+      | Some s -> Some s
+      | None -> (
+          match run Sr sys with
+          | Some s -> Some s
+          | None -> (
+              match run Sxy sys with
+              | Some s -> Some s
+              | None -> run Exact_small sys)))
+
+let schedule ?(algorithm = Auto) sys =
+  (match Task.check_system sys with
+  | Error e -> invalid_arg ("Scheduler.schedule: " ^ e)
+  | Ok () -> ());
+  if sys = [] then invalid_arg "Scheduler.schedule: empty system";
+  Log.debug (fun m ->
+      m "scheduling %a (density %a) with %a" Task.pp_system sys Q.pp
+        (Task.system_density sys) pp_algorithm algorithm);
+  match run algorithm sys with
+  | Some sched ->
+      (* Defense in depth: no schedule leaves this module unverified. *)
+      if Verify.satisfies sched sys then begin
+        Log.debug (fun m -> m "scheduled with period %d" (Schedule.period sched));
+        Some sched
+      end
+      else begin
+        Log.err (fun m ->
+            m "scheduler produced an invalid schedule for %a -- rejected"
+              Task.pp_system sys);
+        None
+      end
+  | None ->
+      Log.debug (fun m -> m "no schedule found");
+      None
+
+let schedulable ?algorithm sys = schedule ?algorithm sys <> None
+
+let guaranteed_density = function
+  | Sa | Sx | Sxy | Auto -> Some (Q.make 1 2)
+  | Sr | Exact_small -> None

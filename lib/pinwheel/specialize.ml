@@ -1,0 +1,96 @@
+module Q = Pindisk_util.Q
+
+
+let to_chain ~x b =
+  if x < 1 then invalid_arg "Specialize.to_chain: x must be >= 1";
+  if b < x then None
+  else begin
+    (* Largest x * 2^k <= b. *)
+    let v = ref x in
+    while !v <= b / 2 && !v * 2 <= b do
+      v := !v * 2
+    done;
+    Some !v
+  end
+
+let specialized_density ~x sys =
+  let rec go acc = function
+    | [] -> Some acc
+    | t :: rest -> (
+        match to_chain ~x t.Task.b with
+        | None -> None
+        | Some b' -> go (Q.add acc (Q.make t.Task.a b')) rest)
+  in
+  go Q.zero sys
+
+let candidate_bases sys =
+  match sys with
+  | [] -> [ 1 ]
+  | _ ->
+      let b_min =
+        List.fold_left (fun acc t -> min acc t.Task.b) max_int sys
+      in
+      let candidates = Hashtbl.create 64 in
+      List.iter
+        (fun t ->
+          let v = ref t.Task.b in
+          while !v >= 1 do
+            if !v <= b_min then Hashtbl.replace candidates !v ();
+            v := !v / 2
+          done)
+        sys;
+      Hashtbl.replace candidates 1 ();
+      Hashtbl.fold (fun k () acc -> k :: acc) candidates []
+      |> List.sort (fun a b -> compare b a)
+
+let schedule_with_base ~x sys =
+  match Task.check_system sys with
+  | Error _ -> None
+  | Ok () -> (
+      if sys = [] then None
+      else
+        let units = Task.decompose_units sys in
+        let specialized =
+          List.map
+            (fun (key, b) ->
+              match to_chain ~x b with
+              | Some b' -> Some (key, b')
+              | None -> None)
+            units
+        in
+        if List.exists (fun o -> o = None) specialized then None
+        else
+          let pairs = List.filter_map (fun o -> o) specialized in
+          match Harmonic.pack ~x pairs with
+          | None -> None
+          | Some assignments ->
+              let sched = Harmonic.schedule_of ~x assignments in
+              if Verify.satisfies sched sys then Some sched else None)
+
+let sa sys = schedule_with_base ~x:1 sys
+
+let best_base sys =
+  let feasible =
+    List.filter_map
+      (fun x ->
+        match specialized_density ~x sys with
+        | Some d when Q.( <= ) d Q.one -> Some (x, d)
+        | _ -> None)
+      (candidate_bases sys)
+  in
+  match feasible with
+  | [] -> None
+  | (x0, d0) :: rest ->
+      let x, _ =
+        List.fold_left
+          (fun (bx, bd) (x, d) -> if Q.( < ) d bd then (x, d) else (bx, bd))
+          (x0, d0) rest
+      in
+      Some x
+
+let sx_base sys = best_base sys
+
+let sx sys =
+  match best_base sys with
+  | None -> None
+  | Some x -> schedule_with_base ~x sys

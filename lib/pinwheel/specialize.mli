@@ -1,0 +1,47 @@
+(** Window specialization: single- and multi-base integer reduction.
+
+    Specialization replaces each window [b] by a smaller, structured value
+    [b' <= b]; by rule R0 of the pinwheel algebra, a schedule for the
+    specialized system also serves the original. With chain base [x], a
+    window [b >= x] specializes to the largest [x·2^k <= b], losing less
+    than a factor of two; the specialized system is then packed losslessly
+    by {!Harmonic}.
+
+    [x = 1] gives Holte et al.'s single-integer reduction scheduler [Sa]
+    (every window rounded to a power of two), which schedules {e every}
+    system of density at most 1/2. Searching all candidate bases ("[Sx]"),
+    as in Chan & Chin's reductions, retains the 1/2 guarantee but succeeds
+    far beyond it in practice — the density-sweep experiment (E6) measures
+    how far. *)
+
+
+val to_chain : x:int -> int -> int option
+(** [to_chain ~x b] is the largest [x·2^k <= b], or [None] when [b < x]. *)
+
+val specialized_density : x:int -> Task.system -> Pindisk_util.Q.t option
+(** Density of the system after specializing every window to base [x]
+    (counting each task as [a] unit tasks of the specialized window);
+    [None] if some window is below [x]. *)
+
+val candidate_bases : Task.system -> int list
+(** All plausible chain bases for a system: the distinct values
+    [floor (b_i / 2^j)] not exceeding the smallest window. Always
+    non-empty for a non-empty system (contains 1). *)
+
+val schedule_with_base : x:int -> Task.system -> Schedule.t option
+(** Specialize to base [x] and pack. [None] if some window is below [x] or
+    the specialized density exceeds 1. The result satisfies the original
+    system (multi-unit tasks are decomposed into exact-period copies). *)
+
+val sa : Task.system -> Schedule.t option
+(** Single-integer reduction: {!schedule_with_base} with [x = 1].
+    Guaranteed to succeed on unit systems of density <= 1/2. *)
+
+val sx : Task.system -> Schedule.t option
+(** Multi-base search: tries every {!candidate_bases} value, picks the one
+    with the smallest specialized density, and packs. Succeeds whenever
+    {!sa} does. *)
+
+val sx_base : Task.system -> int option
+(** The base {!sx} would choose (the candidate of minimum specialized
+    density among the feasible ones), for introspection. *)

@@ -1,0 +1,53 @@
+type violation = { task : int; a : int; b : int; window_start : int; found : int }
+
+let pp_violation ppf v =
+  Format.fprintf ppf
+    "pc(%d, %d, %d) violated: window starting at slot %d holds only %d occurrence(s)"
+    v.task v.a v.b v.window_start v.found
+
+(* Minimum occurrences of [task] over all windows of length [window], via a
+   prefix-sum over two concatenated periods plus arithmetic for windows
+   longer than the period. *)
+let min_in_window sched ~task ~window =
+  if window < 1 then invalid_arg "Verify.min_in_window: window must be >= 1";
+  let p = Schedule.period sched in
+  let occ_per_period = Schedule.count sched task in
+  (* prefix.(t) = occurrences in slots [0, t) of the doubled period. *)
+  let prefix = Array.make ((2 * p) + 1) 0 in
+  for t = 0 to (2 * p) - 1 do
+    prefix.(t + 1) <-
+      (prefix.(t) + if Schedule.task_at sched (t mod p) = task then 1 else 0)
+  done;
+  let full = window / p and rest = window mod p in
+  let best = ref max_int in
+  for start = 0 to p - 1 do
+    let in_rest = prefix.(start + rest) - prefix.(start) in
+    let total = (full * occ_per_period) + in_rest in
+    if total < !best then best := total
+  done;
+  !best
+
+let check_pc sched ~task ~a ~b =
+  if a < 1 || b < a then invalid_arg "Verify.check_pc: need 1 <= a <= b";
+  let p = Schedule.period sched in
+  let occ_per_period = Schedule.count sched task in
+  let prefix = Array.make ((2 * p) + 1) 0 in
+  for t = 0 to (2 * p) - 1 do
+    prefix.(t + 1) <-
+      (prefix.(t) + if Schedule.task_at sched (t mod p) = task then 1 else 0)
+  done;
+  let full = b / p and rest = b mod p in
+  let exception Found of violation in
+  try
+    for start = 0 to p - 1 do
+      let total = (full * occ_per_period) + prefix.(start + rest) - prefix.(start) in
+      if total < a then
+        raise (Found { task; a; b; window_start = start; found = total })
+    done;
+    None
+  with Found v -> Some v
+
+let check_task sched (t : Task.t) = check_pc sched ~task:t.Task.id ~a:t.Task.a ~b:t.Task.b
+
+let check_system sched sys = List.filter_map (check_task sched) sys
+let satisfies sched sys = check_system sched sys = []

@@ -1,0 +1,32 @@
+(** Independent verification of schedules against pinwheel conditions.
+
+    Every scheduler in this library is validated end-to-end against this
+    module, which re-checks the produced cyclic schedule against the
+    {e original} conditions by exhaustive sliding-window counting. Because
+    the schedule repeats with its period, checking all windows that start
+    within one period is exhaustive over the biinfinite schedule. *)
+
+type violation = { task : int; a : int; b : int; window_start : int; found : int }
+(** A witness: the window of [b] slots starting at [window_start] contains
+    only [found < a] occurrences of [task]. *)
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val min_in_window : Schedule.t -> task:int -> window:int -> int
+(** [min_in_window s ~task ~window] is the minimum, over all windows of
+    [window] consecutive slots of the repeated schedule, of the number of
+    slots allocated to [task]. [window] may exceed the schedule period.
+    Raises [Invalid_argument] if [window < 1]. *)
+
+val check_pc : Schedule.t -> task:int -> a:int -> b:int -> violation option
+(** [check_pc s ~task ~a ~b] is [None] iff schedule [s] satisfies
+    [pc(task, a, b)]: at least [a] occurrences of [task] in every [b]
+    consecutive slots. *)
+
+val check_task : Schedule.t -> Task.t -> violation option
+
+val check_system : Schedule.t -> Task.system -> violation list
+(** All violations, empty iff the schedule satisfies every task's
+    condition. *)
+
+val satisfies : Schedule.t -> Task.system -> bool

@@ -1,0 +1,38 @@
+module Program = Pindisk.Program
+module Bandwidth = Pindisk.Bandwidth
+
+type t = { items : Item.t list; modes : Mode.t list }
+
+let create ~items ~modes =
+  if items = [] then invalid_arg "Database.create: no items";
+  if modes = [] then invalid_arg "Database.create: no modes";
+  let distinct proj what l =
+    if List.length (List.sort_uniq compare (List.map proj l)) <> List.length l
+    then invalid_arg ("Database.create: duplicate " ^ what)
+  in
+  distinct (fun i -> i.Item.id) "item ids" items;
+  distinct (fun i -> i.Item.name) "item names" items;
+  distinct (fun (m : Mode.t) -> m.Mode.name) "mode names" modes;
+  { items; modes }
+
+let items t = t.items
+let modes t = t.modes
+
+let mode t name = List.find_opt (fun (m : Mode.t) -> m.Mode.name = name) t.modes
+
+let provisioned_capacity t (item : Item.t) =
+  item.Item.blocks + Mode.max_tolerance t.modes item
+
+let file_specs t ~mode =
+  Mode.file_specs ~capacity_for:(provisioned_capacity t) mode t.items
+
+let required_bandwidth t ~mode = Bandwidth.required (file_specs t ~mode)
+
+let program ?bandwidth t ~mode =
+  let specs = file_specs t ~mode in
+  match bandwidth with
+  | Some b -> (
+      match Program.pinwheel ~bandwidth:b specs with
+      | Some p -> Some (b, p)
+      | None -> None)
+  | None -> Program.auto specs

@@ -1,0 +1,130 @@
+module Program = Pindisk.Program
+
+let max_capacity = 20
+
+(* The client's progress only changes at occurrences of its file, and the
+   program's (slot, block) pairs repeat with the data cycle. Enumerate the
+   occurrences of one data cycle; occurrence j >= occs has slot
+   slots.(j mod occs) + (j / occs) * cycle. The adversary decides, at each
+   occurrence carrying a block the client still needs, whether to ruin it.
+   Ruining a redundant occurrence is pointless, so the decision space is
+   exactly those occurrences. Memoize on (j mod occs, collected, errors):
+   the completion slot from state (j, ...) equals the memoized completion
+   for (j mod occs, ...) plus (j / occs) * cycle, by shift invariance. *)
+
+type ctx = {
+  cycle : int;
+  slots : int array;
+  blocks : int array;
+  occs : int;
+  needed : int;
+  memo : (int * int * int, int) Hashtbl.t;
+}
+
+let context program ~file ~needed =
+  if needed < 1 then invalid_arg "Adversary: needed must be >= 1";
+  let cap =
+    match Program.capacity program file with
+    | exception Not_found -> invalid_arg "Adversary: file not in program"
+    | c -> c
+  in
+  if cap > max_capacity then
+    invalid_arg
+      (Printf.sprintf "Adversary: capacity %d exceeds the supported %d" cap
+         max_capacity);
+  if needed > cap then invalid_arg "Adversary: needed exceeds capacity";
+  let cycle = Program.data_cycle program in
+  let occ_slots = ref [] and occ_blocks = ref [] in
+  for t = cycle - 1 downto 0 do
+    match Program.block_at program t with
+    | Some (f, idx) when f = file ->
+        occ_slots := t :: !occ_slots;
+        occ_blocks := idx :: !occ_blocks
+    | Some _ | None -> ()
+  done;
+  let slots = Array.of_list !occ_slots and blocks = Array.of_list !occ_blocks in
+  if Array.length slots = 0 then invalid_arg "Adversary: file never broadcast";
+  {
+    cycle;
+    slots;
+    blocks;
+    occs = Array.length slots;
+    needed;
+    memo = Hashtbl.create 4096;
+  }
+
+let popcount mask =
+  let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
+  go mask 0
+
+(* Completion slot assuming the next occurrence to process is j (within
+   the first data cycle, j < occs). *)
+let rec completion ctx j mask errs =
+  let wrap = j / ctx.occs and jm = j mod ctx.occs in
+  let key = (jm, mask, errs) in
+  let base =
+    match Hashtbl.find_opt ctx.memo key with
+    | Some v -> v
+    | None ->
+        let idx = ctx.blocks.(jm) in
+        let v =
+          if mask land (1 lsl idx) <> 0 then
+            (* Redundant block: nothing to decide. *)
+            completion_rel ctx (jm + 1) mask errs
+          else begin
+            let allow =
+              let mask' = mask lor (1 lsl idx) in
+              if popcount mask' >= ctx.needed then ctx.slots.(jm)
+              else completion_rel ctx (jm + 1) mask' errs
+            in
+            if errs > 0 then
+              max allow (completion_rel ctx (jm + 1) mask (errs - 1))
+            else allow
+          end
+        in
+        Hashtbl.replace ctx.memo key v;
+        v
+  in
+  base + (wrap * ctx.cycle)
+
+and completion_rel ctx j mask errs =
+  if j < ctx.occs then completion ctx j mask errs
+  else completion ctx (j - ctx.occs) mask errs + ctx.cycle
+
+(* First occurrence index at or after slot [start] (start < cycle). *)
+let first_occurrence ctx start =
+  let rec go j = if j < ctx.occs && ctx.slots.(j) < start then go (j + 1) else j in
+  go 0
+
+let retrieval_from program ~file ~needed ~errors ~start =
+  if errors < 0 then invalid_arg "Adversary: negative errors";
+  if start < 0 then invalid_arg "Adversary: negative start";
+  let ctx = context program ~file ~needed in
+  let s = start mod ctx.cycle in
+  let j = first_occurrence ctx s in
+  (* j may be occs (no occurrence left this cycle): completion_rel wraps. *)
+  let finish = completion_rel ctx j 0 errors in
+  finish - s + 1
+
+let worst_case_retrieval program ~file ~needed ~errors =
+  if errors < 0 then invalid_arg "Adversary: negative errors";
+  let ctx = context program ~file ~needed in
+  (* Tuning in anywhere strictly after occurrence j-1 and at or before
+     occurrence j behaves identically except for the start subtraction;
+     the worst start for "first visible occurrence = j" is the slot right
+     after occurrence j-1. *)
+  let worst = ref 0 in
+  for j = 0 to ctx.occs - 1 do
+    let start =
+      if j = 0 then ctx.slots.(ctx.occs - 1) + 1 - ctx.cycle
+      else ctx.slots.(j - 1) + 1
+    in
+    let finish = completion ctx j 0 errors in
+    let elapsed = finish - start + 1 in
+    if elapsed > !worst then worst := elapsed
+  done;
+  !worst
+
+let worst_case_delay program ~file ~needed ~errors =
+  worst_case_retrieval program ~file ~needed ~errors
+  - worst_case_retrieval program ~file ~needed ~errors:0

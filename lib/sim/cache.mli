@@ -1,0 +1,41 @@
+(** Client cache management for broadcast disks (Acharya et al.,
+    SIGMOD'95 — the client-side issue the paper's introduction raises).
+
+    A mobile client has a small cache of pages; on a cache miss it must
+    wait for the page to "go by" on the broadcast. The classic result is
+    that pure access-probability caching (LRU-style) is wrong for Bdisks:
+    a hot page that is also broadcast frequently is cheap to miss. The
+    PIX policy caches by [P/X] — access probability over broadcast
+    frequency — preferring pages that are {e hot but rarely broadcast}.
+
+    The simulation uses page-granularity programs (one block per file);
+    accesses are drawn from a Zipf distribution over page ids (id 0
+    hottest). Time advances one slot per access when the client is idle;
+    a miss advances time to the page's next transmission. *)
+
+type policy =
+  | Lru  (** evict the least recently used page *)
+  | Lfu  (** evict the least frequently used page (running counts) *)
+  | Pix  (** evict the smallest access-probability / broadcast-frequency *)
+
+val pp_policy : Format.formatter -> policy -> unit
+
+type stats = {
+  accesses : int;
+  hits : int;
+  mean_latency : float;  (** slots per access, hits costing 0 *)
+}
+
+val hit_ratio : stats -> float
+
+val zipf_weights : n:int -> theta:float -> float array
+(** Normalized Zipf([theta]) access probabilities over [n] pages:
+    weight of page [i] proportional to [1 / (i+1)^theta]. *)
+
+val simulate :
+  program:Pindisk.Program.t -> cache_slots:int -> policy:policy ->
+  theta:float -> accesses:int -> seed:int -> unit -> stats
+(** Runs one client. Pages are the program's files (each must have a
+    single-block capacity; raises [Invalid_argument] otherwise — cache
+    simulation is page-granularity by construction). [theta] is the Zipf
+    skew over file ids sorted ascending. Deterministic in [seed]. *)

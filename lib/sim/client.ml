@@ -1,0 +1,65 @@
+module Program = Pindisk.Program
+
+type outcome = {
+  completed_at : int option;
+  elapsed : int option;
+  receptions : int;
+  losses : int;
+}
+
+let pp_outcome ppf o =
+  match o.completed_at with
+  | Some t ->
+      Format.fprintf ppf "completed at slot %d (%d slots, %d received, %d lost)"
+        t
+        (match o.elapsed with Some e -> e | None -> 0)
+        o.receptions o.losses
+  | None ->
+      Format.fprintf ppf "incomplete (%d received, %d lost)" o.receptions o.losses
+
+let retrieve ?max_slots ~program ~file ~needed ~start ~fault () =
+  if start < 0 then invalid_arg "Client.retrieve: negative start";
+  if needed < 1 then invalid_arg "Client.retrieve: needed must be >= 1";
+  (match Program.capacity program file with
+  | exception Not_found -> invalid_arg "Client.retrieve: file not in program"
+  | cap ->
+      if needed > cap then
+        invalid_arg "Client.retrieve: needed exceeds the file's capacity");
+  if Program.occurrences_per_period program file = 0 then
+    invalid_arg "Client.retrieve: file never broadcast";
+  let max_slots =
+    match max_slots with
+    | Some m -> m
+    | None -> 100 * Program.data_cycle program
+  in
+  Fault.reset_to fault start;
+  let collected = Hashtbl.create 16 in
+  let receptions = ref 0 and losses = ref 0 in
+  let result = ref None in
+  let t = ref start in
+  while !result = None && !t - start < max_slots do
+    let lost = Fault.advance fault in
+    (match Program.block_at program !t with
+    | Some (f, idx) when f = file ->
+        if lost then incr losses
+        else begin
+          if not (Hashtbl.mem collected idx) then Hashtbl.replace collected idx ();
+          incr receptions;
+          if Hashtbl.length collected >= needed then result := Some !t
+        end
+    | Some _ | None -> ());
+    incr t
+  done;
+  match !result with
+  | Some slot ->
+      {
+        completed_at = Some slot;
+        elapsed = Some (slot - start + 1);
+        receptions = !receptions;
+        losses = !losses;
+      }
+  | None ->
+      { completed_at = None; elapsed = None; receptions = !receptions; losses = !losses }
+
+let deadline_met o ~deadline =
+  match o.elapsed with Some e -> e <= deadline | None -> false

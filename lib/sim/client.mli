@@ -1,0 +1,31 @@
+(** One client retrieving one file from a broadcast program.
+
+    The client tunes in at some slot, watches blocks "as they go by",
+    keeps every correctly received {e distinct} dispersed block of its
+    file, and is done once it holds [needed] of them — with IDA, any
+    [needed = m] distinct blocks reconstruct the file; without IDA the
+    capacity equals [m], so "any [m] distinct" coincides with "all [m]". *)
+
+type outcome = {
+  completed_at : int option;
+      (** the slot whose block completed the retrieval, if any *)
+  elapsed : int option;
+      (** slots from tune-in through completion, inclusive *)
+  receptions : int;  (** correct receptions of this file's blocks *)
+  losses : int;  (** receptions of this file's blocks ruined by faults *)
+}
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+val retrieve :
+  ?max_slots:int -> program:Pindisk.Program.t -> file:int -> needed:int ->
+  start:int -> fault:Fault.t -> unit -> outcome
+(** [retrieve ~program ~file ~needed ~start ~fault ()] simulates one
+    retrieval. The fault process is {!Fault.reset_to} the start slot and
+    advanced once per slot. [max_slots] (default [100 * data_cycle])
+    bounds the wait: on overrun [completed_at = None]. Raises
+    [Invalid_argument] when [needed] exceeds the file's capacity (the
+    client could never finish) or the file is not broadcast. *)
+
+val deadline_met : outcome -> deadline:int -> bool
+(** Whether the retrieval finished within [deadline] slots of tuning in. *)

@@ -1,0 +1,78 @@
+module Stats = Pindisk_util.Stats
+
+type file_stats = {
+  file : int;
+  requests : int;
+  missed : int;
+  latency : Stats.t;
+}
+
+type result = {
+  requests : int;
+  completed : int;
+  missed : int;
+  latency : Stats.t;
+  losses : int;
+  per_file : file_stats list;
+}
+
+let miss_ratio r =
+  if r.requests = 0 then 0.0
+  else float_of_int r.missed /. float_of_int r.requests
+
+let run ?max_slots ~program ~fault ~seed trace =
+  let global = Stats.create () in
+  let per_file : (int, int ref * int ref * Stats.t) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let file_entry f =
+    match Hashtbl.find_opt per_file f with
+    | Some e -> e
+    | None ->
+        let e = (ref 0, ref 0, Stats.create ()) in
+        Hashtbl.add per_file f e;
+        e
+  in
+  let completed = ref 0 and missed = ref 0 and losses = ref 0 in
+  List.iteri
+    (fun k (r : Workload.request) ->
+      let outcome =
+        Client.retrieve ?max_slots ~program ~file:r.Workload.file
+          ~needed:r.Workload.needed ~start:r.Workload.issued
+          ~fault:(fault ~seed:(seed + k)) ()
+      in
+      let reqs, miss, lat = file_entry r.Workload.file in
+      incr reqs;
+      losses := !losses + outcome.Client.losses;
+      match outcome.Client.elapsed with
+      | Some e ->
+          incr completed;
+          Stats.add_int global e;
+          Stats.add_int lat e;
+          if e > r.Workload.deadline then begin
+            incr missed;
+            incr miss
+          end
+      | None ->
+          incr missed;
+          incr miss)
+    trace;
+  {
+    requests = List.length trace;
+    completed = !completed;
+    missed = !missed;
+    latency = global;
+    losses = !losses;
+    per_file =
+      Hashtbl.fold
+        (fun file (reqs, miss, lat) acc ->
+          { file; requests = !reqs; missed = !miss; latency = lat } :: acc)
+        per_file []
+      |> List.sort (fun a b -> compare a.file b.file);
+  }
+
+let pp_result ppf r =
+  Format.fprintf ppf "%d requests, %d completed, %d missed (%.1f%%); latency %a"
+    r.requests r.completed r.missed
+    (100.0 *. miss_ratio r)
+    Stats.pp_summary r.latency

@@ -1,0 +1,33 @@
+(** Population-scale simulation: run a request trace against a program.
+
+    Requests are independent clients (broadcast reception does not
+    contend), so the engine maps the trace through {!Client.retrieve},
+    each request with its own deterministic fault process, and aggregates
+    global and per-file statistics with percentiles — the measurement
+    harness behind the program-comparison experiments. *)
+
+type file_stats = {
+  file : int;
+  requests : int;
+  missed : int;  (** late or never completed *)
+  latency : Pindisk_util.Stats.t;  (** completed retrievals only *)
+}
+
+type result = {
+  requests : int;
+  completed : int;
+  missed : int;
+  latency : Pindisk_util.Stats.t;
+  losses : int;
+  per_file : file_stats list;  (** ascending by file id *)
+}
+
+val miss_ratio : result -> float
+
+val run :
+  ?max_slots:int -> program:Pindisk.Program.t ->
+  fault:(seed:int -> Fault.t) -> seed:int -> Workload.request list -> result
+(** [run ~program ~fault ~seed trace] executes every request; request [k]
+    gets the fault process [fault ~seed:(seed + k)]. *)
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,81 @@
+type kind =
+  | None_
+  | Bernoulli of { p : float; seed : int }
+  | Burst of {
+      p_good_to_bad : float;
+      p_bad_to_good : float;
+      loss_good : float;
+      loss_bad : float;
+      seed : int;
+    }
+  | Deterministic of (int -> bool)
+
+type t = {
+  kind : kind;
+  mutable slot : int;
+  mutable rng : Random.State.t;
+  mutable bad : bool; (* burst-model state *)
+}
+
+let fresh_rng kind slot =
+  let seed =
+    match kind with
+    | None_ | Deterministic _ -> 0
+    | Bernoulli { seed; _ } -> seed
+    | Burst { seed; _ } -> seed
+  in
+  Random.State.make [| seed; slot; 0x5eed |]
+
+let create kind = { kind; slot = 0; rng = fresh_rng kind 0; bad = false }
+
+let none () = create None_
+
+let bernoulli ~p ~seed =
+  if p < 0.0 || p > 1.0 then invalid_arg "Fault.bernoulli: p must be in [0, 1]";
+  create (Bernoulli { p; seed })
+
+let burst ~p_good_to_bad ~p_bad_to_good ~loss_good ~loss_bad ~seed =
+  let check name v =
+    if v < 0.0 || v > 1.0 then
+      invalid_arg (Printf.sprintf "Fault.burst: %s must be in [0, 1]" name)
+  in
+  check "p_good_to_bad" p_good_to_bad;
+  check "p_bad_to_good" p_bad_to_good;
+  check "loss_good" loss_good;
+  check "loss_bad" loss_bad;
+  create (Burst { p_good_to_bad; p_bad_to_good; loss_good; loss_bad; seed })
+
+let deterministic f = create (Deterministic f)
+
+let reset_to t slot =
+  t.slot <- slot;
+  t.rng <- fresh_rng t.kind slot;
+  t.bad <- false
+
+let advance t =
+  let lost =
+    match t.kind with
+    | None_ -> false
+    | Deterministic f -> f t.slot
+    | Bernoulli { p; _ } -> Random.State.float t.rng 1.0 < p
+    | Burst { p_good_to_bad; p_bad_to_good; loss_good; loss_bad; _ } ->
+        let flip = Random.State.float t.rng 1.0 in
+        (if t.bad then (if flip < p_bad_to_good then t.bad <- false)
+         else if flip < p_good_to_bad then t.bad <- true);
+        let loss_p = if t.bad then loss_bad else loss_good in
+        Random.State.float t.rng 1.0 < loss_p
+  in
+  t.slot <- t.slot + 1;
+  lost
+
+let loss_rate t =
+  match t.kind with
+  | None_ | Deterministic _ -> 0.0
+  | Bernoulli { p; _ } -> p
+  | Burst { p_good_to_bad; p_bad_to_good; loss_good; loss_bad; _ } ->
+      (* Stationary distribution of the two-state chain. *)
+      let denom = p_good_to_bad +. p_bad_to_good in
+      if denom = 0.0 then loss_good
+      else
+        let pi_bad = p_good_to_bad /. denom in
+        ((1.0 -. pi_bad) *. loss_good) +. (pi_bad *. loss_bad)

@@ -1,0 +1,42 @@
+(** Block-loss processes for the broadcast channel.
+
+    The paper assumes "individual transmission errors occur independently of
+    each other, and the occurrence of an error during the transmission of a
+    block renders the entire block unreadable". {!bernoulli} is exactly that
+    model; {!burst} (a Gilbert–Elliott two-state chain) adds the time
+    correlation real wireless channels exhibit, used by the fault-model
+    ablation (E9); {!deterministic} scripts losses for tests.
+
+    A process is stateful: {!advance} must be called once per slot, in slot
+    order, and returns whether a reception in that slot is lost. *)
+
+type t
+
+val none : unit -> t
+(** Never loses a block. *)
+
+val bernoulli : p:float -> seed:int -> t
+(** Independent loss with probability [p] per slot, [0 <= p <= 1]. *)
+
+val burst :
+  p_good_to_bad:float -> p_bad_to_good:float -> loss_good:float ->
+  loss_bad:float -> seed:int -> t
+(** Gilbert–Elliott: a two-state Markov chain toggling between a good state
+    (loss probability [loss_good]) and a bad state ([loss_bad]). Starts in
+    the good state. *)
+
+val deterministic : (int -> bool) -> t
+(** [deterministic f]: slot [t] is lost iff [f t] ([t] counts calls to
+    {!advance}, starting at the slot given to {!reset_to}, default 0). *)
+
+val reset_to : t -> int -> unit
+(** Restart the process at the given absolute slot (re-seeds the stochastic
+    models deterministically, so two runs from the same slot see the same
+    losses). *)
+
+val advance : t -> bool
+(** The loss verdict for the current slot; moves to the next slot. *)
+
+val loss_rate : t -> float
+(** The long-run expected loss probability of the process (0 for
+    [deterministic]). *)

@@ -1,0 +1,81 @@
+module Program = Pindisk.Program
+module Ida = Pindisk_ida.Ida
+
+type stored = {
+  m : int;
+  length : int;
+  ida : Ida.t;
+  pieces : Ida.piece array; (* all [capacity] dispersed pieces *)
+}
+
+type t = { program : Program.t; store : (int, stored) Hashtbl.t }
+
+let create ~program files =
+  let store = Hashtbl.create 8 in
+  List.iter
+    (fun (file, m, content) ->
+      let capacity =
+        match Program.capacity program file with
+        | exception Not_found ->
+            invalid_arg
+              (Printf.sprintf "Transport.create: file %d not in program" file)
+        | c -> c
+      in
+      if m < 1 || m > capacity then
+        invalid_arg "Transport.create: need 1 <= m <= capacity";
+      let ida = Ida.create ~m in
+      let pieces = Ida.disperse ida ~n:capacity content in
+      Hashtbl.replace store file
+        { m; length = Bytes.length content; ida; pieces })
+    files;
+  List.iter
+    (fun f ->
+      if not (Hashtbl.mem store f) then
+        invalid_arg (Printf.sprintf "Transport.create: no content for file %d" f))
+    (Program.files program);
+  { program; store }
+
+let program t = t.program
+
+let on_air t slot =
+  match Program.block_at t.program slot with
+  | None -> None
+  | Some (file, idx) ->
+      let s = Hashtbl.find t.store file in
+      Some (file, s.pieces.(idx))
+
+let source_blocks t file =
+  match Hashtbl.find_opt t.store file with
+  | Some s -> s.m
+  | None -> raise Not_found
+
+let retrieve ?max_slots t ~file ~start ~fault () =
+  if start < 0 then invalid_arg "Transport.retrieve: negative start";
+  let s =
+    match Hashtbl.find_opt t.store file with
+    | Some s -> s
+    | None -> invalid_arg "Transport.retrieve: unknown file"
+  in
+  let max_slots =
+    match max_slots with
+    | Some m -> m
+    | None -> 100 * Program.data_cycle t.program
+  in
+  Fault.reset_to fault start;
+  let collected = Hashtbl.create 16 in
+  let slot = ref start in
+  let result = ref None in
+  while !result = None && !slot - start < max_slots do
+    let lost = Fault.advance fault in
+    (match on_air t !slot with
+    | Some (f, piece) when f = file && not lost ->
+        if not (Hashtbl.mem collected piece.Ida.index) then begin
+          Hashtbl.replace collected piece.Ida.index piece;
+          if Hashtbl.length collected >= s.m then
+            let pieces = Hashtbl.fold (fun _ p acc -> p :: acc) collected [] in
+            result := Some (Ida.reconstruct s.ida ~length:s.length pieces)
+        end
+    | Some _ | None -> ());
+    incr slot
+  done;
+  !result

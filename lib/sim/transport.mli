@@ -1,0 +1,37 @@
+(** End-to-end broadcast transport: real bytes over the simulated channel.
+
+    {!Client} tracks block {e indices}; this module closes the loop with
+    actual content. The server stores each file's bytes, disperses them
+    with IDA into as many pieces as the program's capacity for the file,
+    and puts the pieces on the air per the broadcast program; a receiving
+    client collects pieces (losing some to the fault process) and
+    reconstructs the original bytes with the IDA inverse transformation —
+    the full pipeline of the paper's Figure 4 running over the programs of
+    Section 3. *)
+
+type t
+
+val create : program:Pindisk.Program.t -> (int * int * bytes) list -> t
+(** [create ~program files] takes [(file_id, m, content)] triples: the
+    content is dispersed with [m] source blocks into [capacity program
+    file_id] pieces (so any [m] of them reconstruct). Every file of the
+    program must be given content, with [1 <= m <= capacity]. *)
+
+val program : t -> Pindisk.Program.t
+
+val on_air : t -> int -> (int * Pindisk_ida.Ida.piece) option
+(** [on_air t slot] is the (file, dispersed piece) broadcast in that slot,
+    or [None] for an idle slot. *)
+
+val source_blocks : t -> int -> int
+(** The [m] a client needs for the file; raises [Not_found] for unknown
+    files. *)
+
+val retrieve :
+  ?max_slots:int -> t -> file:int -> start:int -> fault:Fault.t -> unit ->
+  bytes option
+(** Collect pieces of [file] from slot [start] under the fault process
+    until [m] distinct pieces arrive, then reconstruct and return the
+    original bytes. [None] if the slot budget (default 100 data cycles)
+    runs out first. The result, when present, is bit-exact equal to the
+    stored content (the tests assert it). *)

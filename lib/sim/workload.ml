@@ -1,0 +1,44 @@
+module Program = Pindisk.Program
+
+type request = { issued : int; file : int; needed : int; deadline : int }
+
+let generate ~program ~rate ~theta ~needed_of ~deadline_of ~horizon ~seed =
+  if rate <= 0.0 then invalid_arg "Workload.generate: rate must be positive";
+  if theta < 0.0 then invalid_arg "Workload.generate: negative theta";
+  if horizon < 1 then invalid_arg "Workload.generate: horizon must be >= 1";
+  let files = Array.of_list (Program.files program) in
+  let n = Array.length files in
+  if n = 0 then invalid_arg "Workload.generate: empty program";
+  let weights = Cache.zipf_weights ~n ~theta in
+  let cumulative = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i w ->
+      acc := !acc +. w;
+      cumulative.(i) <- !acc)
+    weights;
+  let rng = Random.State.make [| seed; horizon; 0x3017 |] in
+  let draw_file () =
+    let u = Random.State.float rng 1.0 in
+    let rec find i = if i >= n - 1 || cumulative.(i) >= u then i else find (i + 1) in
+    files.(find 0)
+  in
+  let rec go t acc =
+    (* Exponential inter-arrival gap, at least 0 slots. *)
+    let gap = -.log (1.0 -. Random.State.float rng 1.0) /. rate in
+    let t = t +. gap in
+    let slot = int_of_float t in
+    if slot >= horizon then List.rev acc
+    else
+      let file = draw_file () in
+      let r =
+        {
+          issued = slot;
+          file;
+          needed = needed_of file;
+          deadline = deadline_of file;
+        }
+      in
+      go t (r :: acc)
+  in
+  go 0.0 []

@@ -1,0 +1,27 @@
+(** Client request workloads for broadcast-disk simulations.
+
+    Models the paper's client population: thousands of independent mobile
+    clients issuing data retrievals against the broadcast. Requests arrive
+    as a Poisson process over the whole population, pick a file by a Zipf
+    popularity law, and carry a firm deadline. Traces are deterministic in
+    the seed, so competing programs can be measured on the {e identical}
+    request sequence. *)
+
+type request = {
+  issued : int;  (** the slot the client tunes in *)
+  file : int;
+  needed : int;  (** distinct blocks to collect (IDA's [m]) *)
+  deadline : int;  (** slots allowed, relative to [issued] *)
+}
+
+val generate :
+  program:Pindisk.Program.t -> rate:float -> theta:float ->
+  needed_of:(int -> int) -> deadline_of:(int -> int) -> horizon:int ->
+  seed:int -> request list
+(** [generate ~program ~rate ~theta ~needed_of ~deadline_of ~horizon ~seed]
+    draws requests over [horizon] slots: inter-arrival gaps are
+    exponential with mean [1/rate] (so [rate] is expected requests per
+    slot across the population); files are drawn Zipf([theta]) over the
+    program's files ordered by id (id order = popularity order). Sorted by
+    issue slot. Raises [Invalid_argument] for [rate <= 0], [theta < 0] or
+    [horizon < 1]. *)

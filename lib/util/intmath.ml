@@ -1,0 +1,64 @@
+exception Overflow
+
+let rec gcd a b =
+  let a = abs a and b = abs b in
+  if b = 0 then a else gcd b (a mod b)
+
+let lcm a b =
+  if a = 0 || b = 0 then 0
+  else
+    let g = gcd a b in
+    let q = abs a / g in
+    let r = q * abs b in
+    if r / abs b <> q then raise Overflow else r
+
+let lcm_list l = List.fold_left lcm 1 l
+
+let mul_exn x y =
+  if x = 0 || y = 0 then 0
+  else
+    let r = x * y in
+    if r / y <> x then raise Overflow else r
+
+let pow base e =
+  if e < 0 then invalid_arg "Intmath.pow: negative exponent";
+  let rec go acc b e =
+    if e = 0 then acc
+    else
+      let acc = if e land 1 = 1 then mul_exn acc b else acc in
+      if e <= 1 then acc else go acc (mul_exn b b) (e lsr 1)
+  in
+  go 1 base e
+
+let floor_div a b =
+  if b <= 0 then invalid_arg "Intmath.floor_div: non-positive divisor";
+  if a >= 0 then a / b else -(((-a) + b - 1) / b)
+
+let ceil_div a b =
+  if b <= 0 then invalid_arg "Intmath.ceil_div: non-positive divisor";
+  if a >= 0 then (a + b - 1) / b else -((-a) / b)
+
+let floor_log2 n =
+  if n < 1 then invalid_arg "Intmath.floor_log2: n must be >= 1";
+  let rec go k p = if p * 2 > n || p * 2 <= 0 then k else go (k + 1) (p * 2) in
+  go 0 1
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let floor_pow2 n =
+  if n < 1 then invalid_arg "Intmath.floor_pow2: n must be >= 1";
+  1 lsl floor_log2 n
+
+let range lo hi =
+  let rec go i acc = if i < lo then acc else go (i - 1) (i :: acc) in
+  go (hi - 1) []
+
+let sum = List.fold_left ( + ) 0
+
+let max_list = function
+  | [] -> invalid_arg "Intmath.max_list: empty list"
+  | x :: rest -> List.fold_left max x rest
+
+let min_list = function
+  | [] -> invalid_arg "Intmath.min_list: empty list"
+  | x :: rest -> List.fold_left min x rest

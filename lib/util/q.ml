@@ -1,0 +1,48 @@
+type t = { num : int; den : int }
+
+let make num den =
+  if den = 0 then invalid_arg "Q.make: zero denominator";
+  let sign = if den < 0 then -1 else 1 in
+  let num = sign * num and den = sign * den in
+  let g = Intmath.gcd num den in
+  if g = 0 then { num = 0; den = 1 } else { num = num / g; den = den / g }
+
+let of_int n = { num = n; den = 1 }
+let zero = of_int 0
+let one = of_int 1
+
+let add a b =
+  make
+    (Intmath.mul_exn a.num b.den + Intmath.mul_exn b.num a.den)
+    (Intmath.mul_exn a.den b.den)
+
+let neg a = { a with num = -a.num }
+let sub a b = add a (neg b)
+let mul a b = make (Intmath.mul_exn a.num b.num) (Intmath.mul_exn a.den b.den)
+
+let inv a =
+  if a.num = 0 then raise Division_by_zero;
+  make a.den a.num
+
+let div a b = mul a (inv b)
+
+let compare a b =
+  Stdlib.compare (Intmath.mul_exn a.num b.den) (Intmath.mul_exn b.num a.den)
+
+let equal a b = compare a b = 0
+let ( <= ) a b = compare a b <= 0
+let ( < ) a b = compare a b < 0
+let ( >= ) a b = compare a b >= 0
+let ( > ) a b = compare a b > 0
+let min a b = if a <= b then a else b
+let max a b = if a >= b then a else b
+let sum = List.fold_left add zero
+let to_float a = float_of_int a.num /. float_of_int a.den
+let floor a = Intmath.floor_div a.num a.den
+let ceil a = Intmath.ceil_div a.num a.den
+
+let pp ppf a =
+  if a.den = 1 then Format.fprintf ppf "%d" a.num
+  else Format.fprintf ppf "%d/%d" a.num a.den
+
+let to_string a = Format.asprintf "%a" pp a

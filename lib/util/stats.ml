@@ -1,0 +1,94 @@
+type t = {
+  mutable values : float array;
+  mutable len : int;
+  mutable sum : float;
+  mutable sum_sq : float;
+  mutable sorted : bool;
+}
+
+let create () =
+  { values = Array.make 16 0.0; len = 0; sum = 0.0; sum_sq = 0.0; sorted = true }
+
+let add t x =
+  if t.len = Array.length t.values then begin
+    let bigger = Array.make (2 * t.len) 0.0 in
+    Array.blit t.values 0 bigger 0 t.len;
+    t.values <- bigger
+  end;
+  t.values.(t.len) <- x;
+  t.len <- t.len + 1;
+  t.sum <- t.sum +. x;
+  t.sum_sq <- t.sum_sq +. (x *. x);
+  t.sorted <- false
+
+let add_int t x = add t (float_of_int x)
+let count t = t.len
+let total t = t.sum
+let mean t = if t.len = 0 then Float.nan else t.sum /. float_of_int t.len
+
+let variance t =
+  if t.len = 0 then Float.nan
+  else
+    let m = mean t in
+    (t.sum_sq /. float_of_int t.len) -. (m *. m)
+
+let stddev t = sqrt (max 0.0 (variance t))
+
+let ensure_sorted t =
+  if not t.sorted then begin
+    let live = Array.sub t.values 0 t.len in
+    Array.sort compare live;
+    Array.blit live 0 t.values 0 t.len;
+    t.sorted <- true
+  end
+
+let min_value t =
+  if t.len = 0 then invalid_arg "Stats.min_value: empty";
+  ensure_sorted t;
+  t.values.(0)
+
+let max_value t =
+  if t.len = 0 then invalid_arg "Stats.max_value: empty";
+  ensure_sorted t;
+  t.values.(t.len - 1)
+
+let percentile t p =
+  if t.len = 0 then invalid_arg "Stats.percentile: empty";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  ensure_sorted t;
+  if t.len = 1 then t.values.(0)
+  else begin
+    let rank = p /. 100.0 *. float_of_int (t.len - 1) in
+    let lo = int_of_float (floor rank) in
+    let hi = min (t.len - 1) (lo + 1) in
+    let frac = rank -. float_of_int lo in
+    (t.values.(lo) *. (1.0 -. frac)) +. (t.values.(hi) *. frac)
+  end
+
+let median t = percentile t 50.0
+
+let histogram t ~buckets =
+  if buckets < 1 then invalid_arg "Stats.histogram: buckets must be >= 1";
+  if t.len = 0 then []
+  else begin
+    let lo = min_value t and hi = max_value t in
+    let width = (hi -. lo) /. float_of_int buckets in
+    let width = if width <= 0.0 then 1.0 else width in
+    let counts = Array.make buckets 0 in
+    for i = 0 to t.len - 1 do
+      let b =
+        min (buckets - 1) (int_of_float ((t.values.(i) -. lo) /. width))
+      in
+      counts.(b) <- counts.(b) + 1
+    done;
+    List.init buckets (fun b ->
+        (lo +. (float_of_int b *. width), lo +. (float_of_int (b + 1) *. width), counts.(b)))
+  end
+
+let pp_summary ppf t =
+  if t.len = 0 then Format.fprintf ppf "(no observations)"
+  else
+    Format.fprintf ppf
+      "n=%d mean=%.2f sd=%.2f min=%.1f median=%.1f p99=%.1f max=%.1f" t.len
+      (mean t) (stddev t) (min_value t) (median t) (percentile t 99.0)
+      (max_value t)

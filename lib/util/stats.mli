@@ -1,0 +1,44 @@
+(** Streaming descriptive statistics for simulation results.
+
+    An accumulator collects observations one at a time; summaries (mean,
+    variance, percentiles) are computed on demand. Observations are kept
+    (percentiles need them), so memory is linear in the sample count —
+    fine for the simulation sizes this library runs. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+val add_int : t -> int -> unit
+
+val count : t -> int
+val total : t -> float
+
+val mean : t -> float
+(** [nan] when empty. *)
+
+val variance : t -> float
+(** Population variance; [nan] when empty. *)
+
+val stddev : t -> float
+
+val min_value : t -> float
+(** Raises [Invalid_argument] when empty. *)
+
+val max_value : t -> float
+(** Raises [Invalid_argument] when empty. *)
+
+val percentile : t -> float -> float
+(** [percentile t p] for [p] in [0, 100], by linear interpolation between
+    order statistics (the common "exclusive" definition). Raises
+    [Invalid_argument] when empty or [p] out of range. *)
+
+val median : t -> float
+
+val histogram : t -> buckets:int -> (float * float * int) list
+(** Equal-width buckets over the observed range:
+    [(lower, upper, count)]. *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** "n=…, mean=…, sd=…, min/median/p99/max=…". *)

@@ -1,0 +1,49 @@
+The schedule command places the paper's Example-1 system:
+
+  $ pindisk schedule -t 1/2 -t 1/3
+  system: {(0, 1, 2); (1, 1, 3)}
+  density: 5/6
+  schedule (period 2): 0 1
+
+Multi-unit tasks work too (Example 1, second instance):
+
+  $ pindisk schedule -t 2/5 -t 1/3
+  system: {(0, 2, 5); (1, 1, 3)}
+  density: 11/15
+  schedule (period 3): 0 0 1
+
+The analyzer explains infeasibility with a certificate:
+
+  $ pindisk analyze -t 1/2 -t 1/3 -t 1/12
+  density 11/12; 3 distinct window(s); INFEASIBLE: exhaustive search: no infinite schedule
+
+  $ pindisk analyze -t 3/4 -t 1/2
+  density 5/4; 2 distinct window(s), harmonic, multi-unit; INFEASIBLE: density 5/4 > 1
+
+Bandwidth bounds (Equations 1-2):
+
+  $ pindisk bandwidth -f news:4:10:1
+  demand (lower bound): 1/2 blocks/sec
+  equation-2 sufficient bandwidth: 1 blocks/sec
+  smallest schedulable bandwidth: 1 (overhead 2.00x)
+
+The pinwheel algebra on the paper's Example 4:
+
+  $ pindisk convert "4:8,9"
+  condition: bc(0, 4, [8; 9])
+  density lower bound: 5/9
+    TR1      density 1       : pc(1,1)
+    TR2      density 3/5     : pc(1,2) pc(1,10)
+    single   density 5/9     : pc(5,9)
+  winner: single
+    best     density 5/9     : pc(5,9)
+
+Errors are reported, not crashed on:
+
+  $ pindisk schedule -t nonsense
+  pindisk: bad task "nonsense" (want A/B)
+  [124]
+
+  $ pindisk convert "0:3"
+  pindisk: Bc.make: m must be >= 1
+  [124]

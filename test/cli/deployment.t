@@ -1,0 +1,40 @@
+Design a disk from physical requirements:
+
+  $ pindisk design --rate 8192 -r alerts:3000:4:2 -r bulk:60000:60
+  broadcast-disk plan: 8192-byte blocks, 1 blocks/sec, period 32 slots, data cycle 32, channel 1 busy
+    alerts       m=1   r=2 N=3   window=4    slots/period=24  Delta=2
+    bulk         m=8   r=0 N=8   window=60   slots/period=8   Delta=4
+
+  $ pindisk design --rate 4 -r alerts:3000:4:2
+  pindisk: no feasible plan: alerts needs 3000+2 dispersed blocks at 1-byte blocks (IDA caps at 255)
+  [124]
+
+Export a program, inspect it, and confirm the file round-trips:
+
+  $ pindisk export -f a:2:4:1 -f b:4:12 -o prog.bdp
+  wrote prog.bdp (bandwidth 2 blocks/sec)
+
+  $ pindisk inspect prog.bdp
+  period: 16 slots; data cycle: 16 slots
+    file 0: 6 slots/period, capacity 3, max spacing 6
+    file 1: 4 slots/period, capacity 4, max spacing 7
+  layout: 0:0 0:1 0:2 1:0 1:1 . . . 0:0 0:1 0:2 1:2 1:3 . . .
+
+  $ pindisk export -f a:2:4:1 -f b:4:12 | head -3
+  pindisk-program v1
+  capacity 0 3
+  capacity 1 4
+
+A corrupt program file is rejected with a reason:
+
+  $ printf 'pindisk-program v1\ncapacity 0 5\nlayout 0:0 0:0\n' > broken.bdp
+  $ pindisk inspect broken.bdp
+  pindisk: Program.of_layout: file 0 occurrence 1 carries block 0, expected 1 (capacity 5)
+  [124]
+
+The full system over a pipe: broadcast IDA-dispersed content, lose 30% of
+receptions, reconstruct anyway:
+
+  $ pindisk serve -c "alerts:2:4:2=EVACUATE SECTOR 9" --slots 24 \
+  >   | pindisk receive --file 0 --loss 0.3 2>/dev/null
+  EVACUATE SECTOR 9

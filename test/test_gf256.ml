@@ -1,0 +1,183 @@
+module Gf = Pindisk_gf256.Gf256
+module Matrix = Pindisk_gf256.Matrix
+
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Field basics                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_add_is_xor () =
+  check_int "0x53 + 0xCA" (0x53 lxor 0xca) (Gf.add 0x53 0xca);
+  check_int "x + x = 0" 0 (Gf.add 0x7f 0x7f);
+  check_int "x + 0 = x" 0x42 (Gf.add 0x42 0)
+
+let test_mul_known () =
+  (* Classic AES-field example: 0x53 * 0xCA = 0x01. *)
+  check_int "0x53 * 0xCA = 1" 0x01 (Gf.mul 0x53 0xca);
+  check_int "x * 0 = 0" 0 (Gf.mul 0x42 0);
+  check_int "x * 1 = x" 0x42 (Gf.mul 0x42 1);
+  check_int "2 * 0x80" 0x1b (Gf.mul 2 0x80)
+
+let test_inverse () =
+  for x = 1 to 255 do
+    check_int (Printf.sprintf "x * inv x (x=%d)" x) 1 (Gf.mul x (Gf.inv x))
+  done;
+  Alcotest.check_raises "inv 0" Division_by_zero (fun () -> ignore (Gf.inv 0))
+
+let test_div () =
+  check_int "div self" 1 (Gf.div 0xab 0xab);
+  check_int "div by one" 0xab (Gf.div 0xab 1);
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (Gf.div 1 0))
+
+let test_exp_log () =
+  check_int "exp 0" 1 (Gf.exp 0);
+  check_int "exp 255 wraps" 1 (Gf.exp 255);
+  check_int "exp negative wraps" (Gf.exp 254) (Gf.exp (-1));
+  for x = 1 to 255 do
+    check_int (Printf.sprintf "exp (log %d)" x) x (Gf.exp (Gf.log x))
+  done;
+  Alcotest.check_raises "log 0" (Invalid_argument "Gf256.log: zero has no discrete log")
+    (fun () -> ignore (Gf.log 0))
+
+let test_generator_order () =
+  (* 3 generates the full multiplicative group: exp must be injective on
+     [0, 255). *)
+  let seen = Array.make 256 false in
+  for k = 0 to 254 do
+    let v = Gf.exp k in
+    Alcotest.(check bool) "not seen twice" false seen.(v);
+    seen.(v) <- true
+  done
+
+let test_pow () =
+  check_int "pow 0 0" 1 (Gf.pow 0 0);
+  check_int "pow 0 5" 0 (Gf.pow 0 5);
+  check_int "pow x 1" 0x57 (Gf.pow 0x57 1);
+  check_int "pow matches repeated mul" (Gf.mul (Gf.mul 7 7) 7) (Gf.pow 7 3)
+
+(* qcheck field axioms *)
+
+let elt = QCheck2.Gen.int_range 0 255
+
+let prop name count gen f = QCheck2.Test.make ~name ~count gen f
+
+let field_props =
+  [
+    prop "mul commutative" 1000 QCheck2.Gen.(pair elt elt) (fun (a, b) ->
+        Gf.mul a b = Gf.mul b a);
+    prop "mul associative" 1000 QCheck2.Gen.(triple elt elt elt) (fun (a, b, c) ->
+        Gf.mul (Gf.mul a b) c = Gf.mul a (Gf.mul b c));
+    prop "distributivity" 1000 QCheck2.Gen.(triple elt elt elt) (fun (a, b, c) ->
+        Gf.mul a (Gf.add b c) = Gf.add (Gf.mul a b) (Gf.mul a c));
+    prop "Fermat: x^255 = 1 for x <> 0" 300 elt (fun x ->
+        x = 0 || Gf.pow x 255 = 1);
+    prop "Frobenius: (x + y)^2 = x^2 + y^2" 1000 QCheck2.Gen.(pair elt elt)
+      (fun (x, y) -> Gf.pow (Gf.add x y) 2 = Gf.add (Gf.pow x 2) (Gf.pow y 2));
+    prop "pow homomorphism: x^(a+b) = x^a * x^b" 500
+      QCheck2.Gen.(triple elt (int_range 0 30) (int_range 0 30))
+      (fun (x, a, b) -> Gf.pow x (a + b) = Gf.mul (Gf.pow x a) (Gf.pow x b));
+    prop "div is mul by inverse" 1000 QCheck2.Gen.(pair elt (int_range 1 255))
+      (fun (a, b) -> Gf.div a b = Gf.mul a (Gf.inv b));
+    prop "mul agrees with slow carry-less model" 1000 QCheck2.Gen.(pair elt elt)
+      (fun (a, b) ->
+        (* Recompute via shift-and-xor, independent of the tables. *)
+        let slow a b =
+          let rec go acc a b =
+            if b = 0 then acc
+            else
+              let acc = if b land 1 = 1 then acc lxor a else acc in
+              let a = a lsl 1 in
+              let a = if a land 0x100 <> 0 then a lxor 0x11b else a in
+              go acc a (b lsr 1)
+          in
+          go 0 a b
+        in
+        Gf.mul a b = slow a b);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Matrices                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_identity () =
+  let i3 = Matrix.identity 3 in
+  let m = Matrix.create ~rows:3 ~cols:3 (fun i j -> (i * 3) + j + 1) in
+  Alcotest.(check bool) "I * M = M" true (Matrix.equal (Matrix.mul i3 m) m);
+  Alcotest.(check bool) "M * I = M" true (Matrix.equal (Matrix.mul m i3) m)
+
+let test_invert_identity () =
+  match Matrix.invert (Matrix.identity 4) with
+  | Some inv -> Alcotest.(check bool) "inv I = I" true (Matrix.equal inv (Matrix.identity 4))
+  | None -> Alcotest.fail "identity reported singular"
+
+let test_singular () =
+  let m = Matrix.create ~rows:2 ~cols:2 (fun _ _ -> 5) in
+  Alcotest.(check bool) "all-equal matrix singular" true (Matrix.invert m = None);
+  let z = Matrix.create ~rows:3 ~cols:3 (fun _ _ -> 0) in
+  Alcotest.(check bool) "zero matrix singular" true (Matrix.invert z = None)
+
+let test_vandermonde_rows_invertible () =
+  let m = 5 in
+  let v = Matrix.vandermonde ~rows:40 ~cols:m in
+  let rng = Random.State.make [| 42 |] in
+  for _ = 1 to 50 do
+    (* Pick m distinct random rows; the square submatrix must invert. *)
+    let rows = Array.init 40 (fun i -> i) in
+    for i = 39 downto 1 do
+      let j = Random.State.int rng (i + 1) in
+      let t = rows.(i) in
+      rows.(i) <- rows.(j);
+      rows.(j) <- t
+    done;
+    let sub = Matrix.select_rows v (Array.sub rows 0 m) in
+    match Matrix.invert sub with
+    | Some inv ->
+        Alcotest.(check bool) "inv * sub = I" true
+          (Matrix.equal (Matrix.mul inv sub) (Matrix.identity m))
+    | None -> Alcotest.fail "Vandermonde submatrix reported singular"
+  done
+
+let test_mul_vec () =
+  let m = Matrix.create ~rows:2 ~cols:2 (fun i j -> if i = j then 1 else 0) in
+  Alcotest.(check (array int)) "identity mul_vec" [| 10; 20 |] (Matrix.mul_vec m [| 10; 20 |])
+
+let prop_invert_roundtrip =
+  QCheck2.Test.make ~name:"random matrix: inv m * m = I when invertible" ~count:200
+    QCheck2.Gen.(pair (int_range 1 6) (int_bound 1_000_000))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let m = Matrix.create ~rows:n ~cols:n (fun _ _ -> Random.State.int rng 256) in
+      match Matrix.invert m with
+      | None -> true (* singular matrices are legitimately rejected *)
+      | Some inv ->
+          Matrix.equal (Matrix.mul inv m) (Matrix.identity n)
+          && Matrix.equal (Matrix.mul m inv) (Matrix.identity n))
+
+let () =
+  Alcotest.run "gf256"
+    [
+      ( "field",
+        [
+          Alcotest.test_case "add is xor" `Quick test_add_is_xor;
+          Alcotest.test_case "mul known values" `Quick test_mul_known;
+          Alcotest.test_case "all inverses" `Quick test_inverse;
+          Alcotest.test_case "div" `Quick test_div;
+          Alcotest.test_case "exp/log" `Quick test_exp_log;
+          Alcotest.test_case "generator order" `Quick test_generator_order;
+          Alcotest.test_case "pow" `Quick test_pow;
+        ] );
+      ("field-properties", List.map QCheck_alcotest.to_alcotest field_props);
+      ( "matrix",
+        [
+          Alcotest.test_case "identity laws" `Quick test_identity;
+          Alcotest.test_case "invert identity" `Quick test_invert_identity;
+          Alcotest.test_case "singular detection" `Quick test_singular;
+          Alcotest.test_case "vandermonde rows invertible" `Quick
+            test_vandermonde_rows_invertible;
+          Alcotest.test_case "mul_vec" `Quick test_mul_vec;
+        ] );
+      ( "matrix-properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_invert_roundtrip ] );
+    ]

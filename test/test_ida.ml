@@ -1,0 +1,253 @@
+module Ida = Pindisk_ida.Ida
+module Aida = Pindisk_ida.Aida
+
+let bytes_of_string = Bytes.of_string
+
+let check_bytes msg expected actual =
+  Alcotest.(check string) msg (Bytes.to_string expected) (Bytes.to_string actual)
+
+(* ------------------------------------------------------------------ *)
+(* IDA                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_roundtrip_all_pieces () =
+  let file = bytes_of_string "the quick brown fox jumps over the lazy dog" in
+  let ida = Ida.create ~m:5 in
+  let pieces = Ida.disperse ida ~n:10 file in
+  Alcotest.(check int) "ten pieces" 10 (Array.length pieces);
+  let back =
+    Ida.reconstruct ida ~length:(Bytes.length file) (Array.to_list pieces)
+  in
+  check_bytes "roundtrip" file back
+
+let test_roundtrip_any_m_subset () =
+  let file = bytes_of_string "pinwheel broadcast disks" in
+  let m = 3 in
+  let ida = Ida.create ~m in
+  let pieces = Array.to_list (Ida.disperse ida ~n:7 file) in
+  (* Every 3-subset of the 7 pieces must reconstruct. *)
+  let rec subsets k = function
+    | [] -> if k = 0 then [ [] ] else []
+    | x :: rest ->
+        if k = 0 then [ [] ]
+        else
+          List.map (fun s -> x :: s) (subsets (k - 1) rest) @ subsets k rest
+  in
+  List.iter
+    (fun subset ->
+      let back = Ida.reconstruct ida ~length:(Bytes.length file) subset in
+      check_bytes "subset reconstructs" file back)
+    (subsets m pieces)
+
+let test_too_few_pieces () =
+  let ida = Ida.create ~m:4 in
+  let pieces = Ida.disperse ida ~n:6 (bytes_of_string "0123456789ab") in
+  Alcotest.check_raises "three pieces insufficient"
+    (Invalid_argument "Ida.reconstruct: fewer than m distinct pieces") (fun () ->
+      ignore
+        (Ida.reconstruct ida ~length:12 [ pieces.(0); pieces.(1); pieces.(2) ]))
+
+let test_duplicate_indices_dont_count () =
+  let ida = Ida.create ~m:3 in
+  let pieces = Ida.disperse ida ~n:5 (bytes_of_string "abcdef") in
+  Alcotest.check_raises "duplicates collapse"
+    (Invalid_argument "Ida.reconstruct: fewer than m distinct pieces") (fun () ->
+      ignore (Ida.reconstruct ida ~length:6 [ pieces.(0); pieces.(0); pieces.(0) ]))
+
+let test_extra_pieces_ignored () =
+  let file = bytes_of_string "redundancy is uniform in IDA" in
+  let ida = Ida.create ~m:4 in
+  let pieces = Array.to_list (Ida.disperse ida ~n:9 file) in
+  let back = Ida.reconstruct ida ~length:(Bytes.length file) pieces in
+  check_bytes "extras ignored" file back
+
+let test_padding () =
+  (* Length not a multiple of m: padding must be stripped on rebuild. *)
+  let ida = Ida.create ~m:4 in
+  let file = bytes_of_string "seven b" in
+  let pieces = Ida.disperse ida ~n:4 file in
+  Alcotest.(check int) "piece size is ceil(7/4)" 2 (Bytes.length pieces.(0).Ida.data);
+  let back = Ida.reconstruct ida ~length:7 (Array.to_list pieces) in
+  check_bytes "padded roundtrip" file back
+
+let test_m_one () =
+  (* m = 1 is pure replication. *)
+  let ida = Ida.create ~m:1 in
+  let file = bytes_of_string "x" in
+  let pieces = Ida.disperse ida ~n:3 file in
+  Array.iter
+    (fun p -> check_bytes "replica" file (Ida.reconstruct ida ~length:1 [ p ]))
+    pieces
+
+let test_empty_file () =
+  let ida = Ida.create ~m:3 in
+  let pieces = Ida.disperse ida ~n:5 Bytes.empty in
+  let back = Ida.reconstruct ida ~length:0 (Array.to_list pieces) in
+  Alcotest.(check int) "empty" 0 (Bytes.length back)
+
+let test_bad_params () =
+  Alcotest.check_raises "m = 0" (Invalid_argument "Ida.create: m must be in [1, 255]")
+    (fun () -> ignore (Ida.create ~m:0));
+  Alcotest.check_raises "m = 256" (Invalid_argument "Ida.create: m must be in [1, 255]")
+    (fun () -> ignore (Ida.create ~m:256));
+  let ida = Ida.create ~m:5 in
+  Alcotest.check_raises "n < m" (Invalid_argument "Ida.disperse: need m <= n <= 255")
+    (fun () -> ignore (Ida.disperse ida ~n:4 (bytes_of_string "hello")));
+  Alcotest.check_raises "n > 255" (Invalid_argument "Ida.disperse: need m <= n <= 255")
+    (fun () -> ignore (Ida.disperse ida ~n:256 (bytes_of_string "hello")))
+
+let test_piece_indices_self_identify () =
+  let ida = Ida.create ~m:2 in
+  let pieces = Ida.disperse ida ~n:4 (bytes_of_string "abcd") in
+  Array.iteri (fun i p -> Alcotest.(check int) "index" i p.Ida.index) pieces
+
+let test_overhead () =
+  Alcotest.(check (float 1e-9)) "n/m" 2.0 (Ida.overhead ~m:5 ~n:10);
+  Alcotest.(check (float 1e-9)) "no redundancy" 1.0 (Ida.overhead ~m:5 ~n:5)
+
+(* qcheck: random files, parameters and subsets *)
+
+let prop_dispersal_linear =
+  (* IDA is a linear code: dispersing the XOR of two equal-length files
+     gives the XOR of their dispersals, block by block. *)
+  QCheck2.Test.make ~name:"dispersal is linear over GF(2)" ~count:60
+    QCheck2.Gen.(triple (int_range 1 8) (int_range 1 60) (int_bound 1_000_000))
+    (fun (m, len, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let n = m + 3 in
+      let file () = Bytes.init len (fun _ -> Char.chr (Random.State.int rng 256)) in
+      let x = file () and y = file () in
+      let xor a b =
+        Bytes.init len (fun i ->
+            Char.chr (Char.code (Bytes.get a i) lxor Char.code (Bytes.get b i)))
+      in
+      let ida = Ida.create ~m in
+      let dx = Ida.disperse ida ~n x
+      and dy = Ida.disperse ida ~n y
+      and dxy = Ida.disperse ida ~n (xor x y) in
+      Array.for_all
+        (fun i ->
+          let s = Bytes.length dx.(i).Ida.data in
+          let rec ok p =
+            p >= s
+            || Char.code (Bytes.get dx.(i).Ida.data p)
+               lxor Char.code (Bytes.get dy.(i).Ida.data p)
+               = Char.code (Bytes.get dxy.(i).Ida.data p)
+               && ok (p + 1)
+          in
+          ok 0)
+        (Array.init n (fun i -> i)))
+
+let prop_any_loss_pattern_up_to_redundancy =
+  QCheck2.Test.make ~name:"every loss pattern within redundancy reconstructs" ~count:80
+    QCheck2.Gen.(pair (int_range 1 6) (int_bound 1_000_000))
+    (fun (m, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let r = 1 + Random.State.int rng 3 in
+      let n = m + r in
+      let len = 1 + Random.State.int rng 40 in
+      let file = Bytes.init len (fun _ -> Char.chr (Random.State.int rng 256)) in
+      let ida = Ida.create ~m in
+      let pieces = Array.to_list (Ida.disperse ida ~n file) in
+      (* Drop a random subset of exactly r pieces. *)
+      let dropped = Array.make n false in
+      let k = ref 0 in
+      while !k < r do
+        let i = Random.State.int rng n in
+        if not dropped.(i) then begin
+          dropped.(i) <- true;
+          incr k
+        end
+      done;
+      let survivors = List.filter (fun p -> not dropped.(p.Ida.index)) pieces in
+      Bytes.equal (Ida.reconstruct ida ~length:len survivors) file)
+
+let prop_roundtrip_random =
+  QCheck2.Test.make ~name:"random m-of-n subset reconstructs" ~count:100
+    QCheck2.Gen.(
+      triple (int_range 1 12) (int_range 0 200) (int_bound 1_000_000))
+    (fun (m, len, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let n = m + Random.State.int rng (min 12 (256 - m)) in
+      let file = Bytes.init len (fun _ -> Char.chr (Random.State.int rng 256)) in
+      let ida = Ida.create ~m in
+      let pieces = Array.to_list (Ida.disperse ida ~n file) in
+      (* Random subset of exactly m pieces. *)
+      let shuffled = List.sort (fun _ _ -> Random.State.int rng 3 - 1) pieces in
+      let subset = List.filteri (fun i _ -> i < m) shuffled in
+      let subset = List.sort_uniq (fun a b -> compare a.Ida.index b.Ida.index) subset in
+      if List.length subset < m then true (* shuffle degenerated; skip *)
+      else Bytes.equal (Ida.reconstruct ida ~length:len subset) file)
+
+(* ------------------------------------------------------------------ *)
+(* AIDA                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_redundancy_levels () =
+  Alcotest.(check int) "nrt" 0 (Aida.redundancy Aida.Non_real_time);
+  Alcotest.(check int) "standard" 1 (Aida.redundancy Aida.Standard);
+  Alcotest.(check int) "important" 2 (Aida.redundancy Aida.Important);
+  Alcotest.(check int) "critical" 7 (Aida.redundancy (Aida.Critical 7))
+
+let test_allocate () =
+  Alcotest.(check int) "no redundancy" 5 (Aida.allocate ~m:5 ~capacity:10 Aida.Non_real_time);
+  Alcotest.(check int) "one" 6 (Aida.allocate ~m:5 ~capacity:10 Aida.Standard);
+  Alcotest.(check int) "clamped" 10 (Aida.allocate ~m:5 ~capacity:10 (Aida.Critical 99));
+  Alcotest.check_raises "bad" (Invalid_argument "Aida.allocate: need 1 <= m <= capacity <= 255")
+    (fun () -> ignore (Aida.allocate ~m:5 ~capacity:4 Aida.Standard))
+
+let test_profiles () =
+  let combat = [ ("radar", Aida.Critical 3); ("music", Aida.Non_real_time) ] in
+  Alcotest.(check int) "radar redundancy" 3
+    (Aida.redundancy (Aida.criticality_in combat "radar"));
+  Alcotest.(check int) "unknown file defaults" 0
+    (Aida.redundancy (Aida.criticality_in combat "weather"))
+
+let test_transmit_is_prefix_of_dispersal () =
+  let file = bytes_of_string "mode-dependent redundancy" in
+  let ida = Ida.create ~m:4 in
+  let sent = Aida.transmit ida ~capacity:8 Aida.Important file in
+  Alcotest.(check int) "m + 2 blocks" 6 (Array.length sent);
+  let full = Ida.disperse ida ~n:8 file in
+  Array.iteri
+    (fun i p ->
+      Alcotest.(check int) "same index" full.(i).Ida.index p.Ida.index;
+      check_bytes "same data" full.(i).Ida.data p.Ida.data)
+    sent;
+  (* The transmitted blocks alone reconstruct, and survive losing 2. *)
+  let survivors = [ sent.(0); sent.(2); sent.(4); sent.(5) ] in
+  check_bytes "survives 2 losses" file
+    (Ida.reconstruct ida ~length:(Bytes.length file) survivors)
+
+let () =
+  Alcotest.run "ida"
+    [
+      ( "ida",
+        [
+          Alcotest.test_case "roundtrip all pieces" `Quick test_roundtrip_all_pieces;
+          Alcotest.test_case "any m-subset reconstructs" `Quick test_roundtrip_any_m_subset;
+          Alcotest.test_case "too few pieces" `Quick test_too_few_pieces;
+          Alcotest.test_case "duplicates don't count" `Quick test_duplicate_indices_dont_count;
+          Alcotest.test_case "extra pieces ignored" `Quick test_extra_pieces_ignored;
+          Alcotest.test_case "padding" `Quick test_padding;
+          Alcotest.test_case "m = 1 replication" `Quick test_m_one;
+          Alcotest.test_case "empty file" `Quick test_empty_file;
+          Alcotest.test_case "bad params" `Quick test_bad_params;
+          Alcotest.test_case "self-identifying pieces" `Quick test_piece_indices_self_identify;
+          Alcotest.test_case "overhead" `Quick test_overhead;
+        ] );
+      ( "ida-properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_roundtrip_random;
+            prop_dispersal_linear;
+            prop_any_loss_pattern_up_to_redundancy;
+          ] );
+      ( "aida",
+        [
+          Alcotest.test_case "redundancy levels" `Quick test_redundancy_levels;
+          Alcotest.test_case "allocate" `Quick test_allocate;
+          Alcotest.test_case "profiles" `Quick test_profiles;
+          Alcotest.test_case "transmit prefix" `Quick test_transmit_is_prefix_of_dispersal;
+        ] );
+    ]

@@ -1,0 +1,606 @@
+module Program = Pindisk.Program
+module Bounds = Pindisk.Bounds
+module Fault = Pindisk_sim.Fault
+module Client = Pindisk_sim.Client
+module Adversary = Pindisk_sim.Adversary
+module Experiment = Pindisk_sim.Experiment
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let toy_layout =
+  [ (0, 0); (1, 0); (0, 1); (0, 2); (1, 1); (0, 3); (1, 2); (0, 4) ]
+
+let toy_flat () = Program.of_layout toy_layout ~capacities:[ (0, 5); (1, 3) ]
+let toy_ida () = Program.of_layout toy_layout ~capacities:[ (0, 10); (1, 6) ]
+
+(* ------------------------------------------------------------------ *)
+(* Fault                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_fault_none () =
+  let f = Fault.none () in
+  for _ = 1 to 100 do
+    check_bool "never loses" false (Fault.advance f)
+  done
+
+let test_fault_deterministic () =
+  let f = Fault.deterministic (fun t -> t mod 3 = 1) in
+  Alcotest.(check (list bool)) "scripted" [ false; true; false; false; true ]
+    (List.init 5 (fun _ -> Fault.advance f));
+  Fault.reset_to f 1;
+  check_bool "reset re-anchors" true (Fault.advance f)
+
+let test_fault_bernoulli_reproducible () =
+  let f1 = Fault.bernoulli ~p:0.3 ~seed:7 in
+  let f2 = Fault.bernoulli ~p:0.3 ~seed:7 in
+  let a = List.init 200 (fun _ -> Fault.advance f1) in
+  let b = List.init 200 (fun _ -> Fault.advance f2) in
+  check_bool "same seed, same losses" true (a = b);
+  Fault.reset_to f1 0;
+  let a' = List.init 200 (fun _ -> Fault.advance f1) in
+  check_bool "reset replays" true (a = a')
+
+let test_fault_bernoulli_rate () =
+  let f = Fault.bernoulli ~p:0.25 ~seed:42 in
+  let n = 20_000 in
+  let losses = ref 0 in
+  for _ = 1 to n do
+    if Fault.advance f then incr losses
+  done;
+  let rate = float_of_int !losses /. float_of_int n in
+  check_bool "empirical rate near 0.25" true (abs_float (rate -. 0.25) < 0.02);
+  Alcotest.(check (float 1e-9)) "declared rate" 0.25 (Fault.loss_rate f)
+
+let test_fault_burst_stationary_rate () =
+  let f =
+    Fault.burst ~p_good_to_bad:0.1 ~p_bad_to_good:0.4 ~loss_good:0.0
+      ~loss_bad:0.5 ~seed:1
+  in
+  (* pi_bad = 0.1 / 0.5 = 0.2; rate = 0.2 * 0.5 = 0.1. *)
+  Alcotest.(check (float 1e-9)) "stationary rate" 0.1 (Fault.loss_rate f);
+  let n = 50_000 in
+  let losses = ref 0 in
+  for _ = 1 to n do
+    if Fault.advance f then incr losses
+  done;
+  let rate = float_of_int !losses /. float_of_int n in
+  check_bool "empirical near stationary" true (abs_float (rate -. 0.1) < 0.02)
+
+let test_fault_validation () =
+  Alcotest.check_raises "p out of range"
+    (Invalid_argument "Fault.bernoulli: p must be in [0, 1]") (fun () ->
+      ignore (Fault.bernoulli ~p:1.5 ~seed:0))
+
+(* ------------------------------------------------------------------ *)
+(* Client                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_client_error_free () =
+  let p = toy_ida () in
+  (* Tuning in at slot 0, file A needs 5 distinct blocks: occurrences at
+     0,2,3,5,7 -> done at slot 7, elapsed 8. *)
+  let o = Client.retrieve ~program:p ~file:0 ~needed:5 ~start:0 ~fault:(Fault.none ()) () in
+  Alcotest.(check (option int)) "completed at 7" (Some 7) o.Client.completed_at;
+  Alcotest.(check (option int)) "elapsed 8" (Some 8) o.Client.elapsed;
+  check_int "receptions" 5 o.Client.receptions;
+  check_int "losses" 0 o.Client.losses
+
+let test_client_b_from_slot_2 () =
+  let p = toy_ida () in
+  (* File B occurrences at 1,4,6 (blocks B1,B2,B3). From slot 2: B at 4, 6,
+     9 -> elapsed 8. *)
+  let o = Client.retrieve ~program:p ~file:1 ~needed:3 ~start:2 ~fault:(Fault.none ()) () in
+  Alcotest.(check (option int)) "completed at 9" (Some 9) o.Client.completed_at;
+  Alcotest.(check (option int)) "elapsed 8" (Some 8) o.Client.elapsed
+
+let test_client_single_loss_ida_vs_flat () =
+  (* Lose the very first A reception. With IDA the replacement is the next
+     A block (2 slots later); without IDA block A1 only returns a full
+     period later. *)
+  let lose_first = Fault.deterministic (fun t -> t = 0) in
+  let o_ida =
+    Client.retrieve ~program:(toy_ida ()) ~file:0 ~needed:5 ~start:0 ~fault:lose_first ()
+  in
+  Alcotest.(check (option int)) "ida: done at 8" (Some 8) o_ida.Client.completed_at;
+  check_int "one loss" 1 o_ida.Client.losses;
+  let lose_first' = Fault.deterministic (fun t -> t = 0) in
+  let o_flat =
+    Client.retrieve ~program:(toy_flat ()) ~file:0 ~needed:5 ~start:0 ~fault:lose_first' ()
+  in
+  (* A1 returns at slot 8. *)
+  Alcotest.(check (option int)) "flat: done at 8" (Some 8) o_flat.Client.completed_at
+
+let test_client_flat_worst_loss () =
+  (* Losing the LAST needed block of the flat program costs a full period:
+     A5 at slot 7 lost -> A5 returns at slot 15. *)
+  let lose = Fault.deterministic (fun t -> t = 7) in
+  let o =
+    Client.retrieve ~program:(toy_flat ()) ~file:0 ~needed:5 ~start:0 ~fault:lose ()
+  in
+  Alcotest.(check (option int)) "done at 15" (Some 15) o.Client.completed_at;
+  (* Same loss under IDA: A6 arrives at slot 8. *)
+  let lose' = Fault.deterministic (fun t -> t = 7) in
+  let o' =
+    Client.retrieve ~program:(toy_ida ()) ~file:0 ~needed:5 ~start:0 ~fault:lose' ()
+  in
+  Alcotest.(check (option int)) "ida done at 8" (Some 8) o'.Client.completed_at
+
+let test_client_max_slots () =
+  let all_lost = Fault.deterministic (fun _ -> true) in
+  let o =
+    Client.retrieve ~max_slots:50 ~program:(toy_ida ()) ~file:0 ~needed:5 ~start:0
+      ~fault:all_lost ()
+  in
+  check_bool "never completes" true (o.Client.completed_at = None);
+  check_bool "deadline missed" false (Client.deadline_met o ~deadline:1000)
+
+let test_client_validation () =
+  Alcotest.check_raises "needed beyond capacity"
+    (Invalid_argument "Client.retrieve: needed exceeds the file's capacity")
+    (fun () ->
+      ignore
+        (Client.retrieve ~program:(toy_flat ()) ~file:0 ~needed:6 ~start:0
+           ~fault:(Fault.none ()) ()));
+  Alcotest.check_raises "unknown file"
+    (Invalid_argument "Client.retrieve: file not in program") (fun () ->
+      ignore
+        (Client.retrieve ~program:(toy_flat ()) ~file:9 ~needed:1 ~start:0
+           ~fault:(Fault.none ()) ()))
+
+(* ------------------------------------------------------------------ *)
+(* Adversary                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_adversary_error_free_matches_lemma () =
+  (* Error-free worst-case retrieval of the toy files is one period. *)
+  check_int "A error-free" 8
+    (Adversary.worst_case_retrieval (toy_ida ()) ~file:0 ~needed:5 ~errors:0);
+  check_int "B error-free" 8
+    (Adversary.worst_case_retrieval (toy_ida ()) ~file:1 ~needed:3 ~errors:0)
+
+let test_adversary_flat_is_lemma1_tight () =
+  (* Figure 7, "Without IDA" column: delay is exactly r * tau = 8r. *)
+  let p = toy_flat () in
+  List.iter
+    (fun r ->
+      check_int
+        (Printf.sprintf "flat delay r=%d" r)
+        (Bounds.lemma1 ~period:8 ~errors:r)
+        (Adversary.worst_case_delay p ~file:0 ~needed:5 ~errors:r))
+    [ 0; 1; 2; 3; 4; 5 ]
+
+let test_adversary_ida_beats_flat () =
+  let ida = toy_ida () and flat = toy_flat () in
+  List.iter
+    (fun r ->
+      let d_ida = Adversary.worst_case_delay ida ~file:0 ~needed:5 ~errors:r in
+      let d_flat = Adversary.worst_case_delay flat ~file:0 ~needed:5 ~errors:r in
+      check_bool (Printf.sprintf "ida <= flat at r=%d" r) true (d_ida <= d_flat))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_adversary_lemma2_bound_within_redundancy () =
+  (* Lemma 2: delay <= r * Delta, valid while r <= capacity - needed (AIDA
+     provides r spare blocks). File A: Delta = 2, spare = 5. *)
+  let ida = toy_ida () in
+  List.iter
+    (fun r ->
+      let d = Adversary.worst_case_delay ida ~file:0 ~needed:5 ~errors:r in
+      check_bool
+        (Printf.sprintf "A delay %d <= 2r at r=%d" d r)
+        true
+        (d <= Bounds.lemma2 ~delta:2 ~errors:r))
+    [ 0; 1; 2; 3; 4; 5 ];
+  (* File B: Delta = 3, spare = 3: bound holds for r <= 3... *)
+  List.iter
+    (fun r ->
+      let d = Adversary.worst_case_delay ida ~file:1 ~needed:3 ~errors:r in
+      check_bool
+        (Printf.sprintf "B delay %d <= 3r at r=%d" d r)
+        true
+        (d <= Bounds.lemma2 ~delta:3 ~errors:r))
+    [ 0; 1; 2; 3 ];
+  (* ... and genuinely breaks beyond the redundancy (r = 4 > spare): the
+     client must wait for a repeat. This is the implicit AIDA assumption in
+     the lemma. *)
+  let d4 = Adversary.worst_case_delay ida ~file:1 ~needed:3 ~errors:4 in
+  check_bool "beyond redundancy the bound fails" true
+    (d4 > Bounds.lemma2 ~delta:3 ~errors:4)
+
+let test_adversary_dominates_random_clients () =
+  (* No stochastic run may ever exceed the adversarial worst case with the
+     same number of losses. *)
+  let p = toy_ida () in
+  let rng = Random.State.make [| 99 |] in
+  for _ = 1 to 200 do
+    let start = Random.State.int rng 16 in
+    let seed = Random.State.int rng 10_000 in
+    let fault = Fault.bernoulli ~p:0.2 ~seed in
+    let o = Client.retrieve ~program:p ~file:0 ~needed:5 ~start ~fault () in
+    match (o.Client.elapsed, o.Client.losses) with
+    | Some e, losses when losses <= 5 ->
+        let wc = Adversary.worst_case_retrieval p ~file:0 ~needed:5 ~errors:losses in
+        check_bool "bounded by adversary" true (e <= wc)
+    | _ -> ()
+  done
+
+let test_adversary_validation () =
+  Alcotest.check_raises "capacity too large"
+    (Invalid_argument "Adversary: capacity 30 exceeds the supported 20")
+    (fun () ->
+      let p = Program.of_layout [ (0, 0) ] ~capacities:[ (0, 30) ] in
+      ignore (Adversary.worst_case_retrieval p ~file:0 ~needed:1 ~errors:0))
+
+(* ------------------------------------------------------------------ *)
+(* Transport                                                           *)
+(* ------------------------------------------------------------------ *)
+
+module Transport = Pindisk_sim.Transport
+module Ida = Pindisk_ida.Ida
+
+let toy_transport () =
+  Transport.create ~program:(toy_ida ())
+    [
+      (0, 5, Bytes.of_string "intelligent vehicle highway system db");
+      (1, 3, Bytes.of_string "awacs feed");
+    ]
+
+let test_transport_on_air () =
+  let t = toy_transport () in
+  (match Transport.on_air t 0 with
+  | Some (0, piece) -> check_int "slot 0 carries A piece 0" 0 piece.Ida.index
+  | _ -> Alcotest.fail "slot 0 is file A");
+  (match Transport.on_air t 8 with
+  | Some (0, piece) -> check_int "slot 8 carries A piece 5" 5 piece.Ida.index
+  | _ -> Alcotest.fail "slot 8 is file A");
+  check_int "m for A" 5 (Transport.source_blocks t 0)
+
+let test_transport_roundtrip_error_free () =
+  let t = toy_transport () in
+  (match Transport.retrieve t ~file:0 ~start:3 ~fault:(Fault.none ()) () with
+  | Some bytes ->
+      Alcotest.(check string) "bytes back" "intelligent vehicle highway system db"
+        (Bytes.to_string bytes)
+  | None -> Alcotest.fail "retrieval must complete");
+  match Transport.retrieve t ~file:1 ~start:5 ~fault:(Fault.none ()) () with
+  | Some bytes -> Alcotest.(check string) "B back" "awacs feed" (Bytes.to_string bytes)
+  | None -> Alcotest.fail "retrieval must complete"
+
+let test_transport_roundtrip_under_loss () =
+  let t = toy_transport () in
+  (* 20% iid loss: IDA redundancy still reconstructs, bit-exact. *)
+  for seed = 0 to 19 do
+    match
+      Transport.retrieve t ~file:0 ~start:(seed mod 16)
+        ~fault:(Fault.bernoulli ~p:0.2 ~seed) ()
+    with
+    | Some bytes ->
+        Alcotest.(check string) "bit-exact under loss"
+          "intelligent vehicle highway system db" (Bytes.to_string bytes)
+    | None -> Alcotest.fail "20% loss must not exhaust 100 data cycles"
+  done
+
+let test_transport_validation () =
+  Alcotest.check_raises "missing content"
+    (Invalid_argument "Transport.create: no content for file 1") (fun () ->
+      ignore
+        (Transport.create ~program:(toy_ida ()) [ (0, 5, Bytes.of_string "x") ]));
+  Alcotest.check_raises "m beyond capacity"
+    (Invalid_argument "Transport.create: need 1 <= m <= capacity") (fun () ->
+      ignore
+        (Transport.create ~program:(toy_ida ())
+           [ (0, 11, Bytes.of_string "x"); (1, 3, Bytes.of_string "y") ]))
+
+(* ------------------------------------------------------------------ *)
+(* Experiment                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_experiment_error_free () =
+  let s =
+    Experiment.run ~program:(toy_ida ()) ~file:0 ~needed:5 ~deadline:8
+      ~fault:(fun ~seed:_ -> Fault.none ())
+      ~trials:100 ~seed:5 ()
+  in
+  check_int "all complete" 100 s.Experiment.completed;
+  check_int "no misses at deadline 8" 0 s.Experiment.missed_deadline;
+  check_bool "mean within [5, 8]" true
+    (s.Experiment.mean_latency >= 5.0 && s.Experiment.mean_latency <= 8.0)
+
+let test_experiment_lossy_monotone () =
+  (* Higher loss rates cannot improve the miss ratio (statistically; use
+     well-separated rates and plenty of trials). *)
+  let run p_loss =
+    Experiment.run ~program:(toy_ida ()) ~file:0 ~needed:5 ~deadline:10
+      ~fault:(fun ~seed -> Fault.bernoulli ~p:p_loss ~seed)
+      ~trials:400 ~seed:11 ()
+  in
+  let low = run 0.05 and high = run 0.5 in
+  check_bool "monotone misses" true
+    (Experiment.miss_ratio low <= Experiment.miss_ratio high +. 1e-9);
+  check_bool "reproducible" true (run 0.05 = low)
+
+let test_experiment_ida_beats_flat_under_loss () =
+  let run program =
+    Experiment.run ~program ~file:0 ~needed:5 ~deadline:12
+      ~fault:(fun ~seed -> Fault.bernoulli ~p:0.15 ~seed)
+      ~trials:500 ~seed:23 ()
+  in
+  let ida = run (toy_ida ()) and flat = run (toy_flat ()) in
+  check_bool "ida misses fewer deadlines" true
+    (Experiment.miss_ratio ida <= Experiment.miss_ratio flat)
+
+(* ------------------------------------------------------------------ *)
+(* Transaction                                                         *)
+(* ------------------------------------------------------------------ *)
+
+module Transaction = Pindisk_sim.Transaction
+
+let both_reads =
+  [
+    { Transaction.file = 0; needed = 5; tolerate = 0 };
+    { Transaction.file = 1; needed = 3; tolerate = 0 };
+  ]
+
+let test_transaction_concurrent_harvest () =
+  (* One pass over the toy program collects BOTH files: from slot 0, A
+     finishes at slot 7 and B at slot 6, so the transaction finishes at
+     slot 7 -- not the 15 a sequential reader would need. *)
+  let p = toy_ida () in
+  let o =
+    Transaction.retrieve ~program:p ~reads:both_reads ~start:0
+      ~fault:(Fault.none ()) ()
+  in
+  Alcotest.(check (option int)) "done at 7" (Some 7) o.Transaction.completed_at;
+  Alcotest.(check (option int)) "elapsed 8" (Some 8) o.Transaction.elapsed
+
+let test_transaction_worst_case_is_max_not_sum () =
+  let p = toy_ida () in
+  let wc = Transaction.worst_case p ~reads:both_reads in
+  let wa = Adversary.worst_case_retrieval p ~file:0 ~needed:5 ~errors:0 in
+  let wb = Adversary.worst_case_retrieval p ~file:1 ~needed:3 ~errors:0 in
+  check_bool "at least each read's worst case" true (wc >= max wa wb);
+  check_bool "well below the sum" true (wc < wa + wb);
+  check_bool "guaranteed at its worst case" true
+    (Transaction.guaranteed p ~reads:both_reads ~deadline:wc);
+  check_bool "not guaranteed below it" false
+    (Transaction.guaranteed p ~reads:both_reads ~deadline:(wc - 1))
+
+let test_transaction_worst_case_dominates_simulation () =
+  let p = toy_ida () in
+  let reads =
+    [
+      { Transaction.file = 0; needed = 5; tolerate = 2 };
+      { Transaction.file = 1; needed = 3; tolerate = 1 };
+    ]
+  in
+  let wc = Transaction.worst_case p ~reads in
+  let rng = Random.State.make [| 31 |] in
+  for _ = 1 to 150 do
+    let start = Random.State.int rng 16 in
+    let o =
+      Transaction.retrieve ~program:p ~reads ~start
+        ~fault:(Fault.bernoulli ~p:0.1 ~seed:(Random.State.int rng 99999)) ()
+    in
+    (* Only runs whose per-file losses stay within the budgets are
+       covered by the guarantee; losses are per-channel here so use the
+       total as a conservative filter. *)
+    match o.Transaction.elapsed with
+    | Some e when o.Transaction.losses <= 1 ->
+        check_bool "within worst case" true (e <= wc)
+    | _ -> ()
+  done
+
+let test_transaction_shared_budget () =
+  let p = toy_ida () in
+  (* Zero shared budget = the fault-free joint worst case. *)
+  check_int "shared 0 = per-file 0"
+    (Transaction.worst_case p ~reads:both_reads)
+    (Transaction.worst_case_shared p ~reads:both_reads ~errors:0);
+  (* A shared budget dominates any split of the same total. *)
+  let shared = Transaction.worst_case_shared p ~reads:both_reads ~errors:3 in
+  List.iter
+    (fun (ra, rb) ->
+      let split =
+        Transaction.worst_case p
+          ~reads:
+            [
+              { Transaction.file = 0; needed = 5; tolerate = ra };
+              { Transaction.file = 1; needed = 3; tolerate = rb };
+            ]
+      in
+      check_bool
+        (Printf.sprintf "shared >= split (%d,%d)" ra rb)
+        true (shared >= split))
+    [ (0, 3); (1, 2); (2, 1); (3, 0) ];
+  check_bool "shared grows with budget" true
+    (Transaction.worst_case_shared p ~reads:both_reads ~errors:1 <= shared)
+
+let test_transaction_validation () =
+  let p = toy_ida () in
+  Alcotest.check_raises "duplicate files" (Invalid_argument "Transaction: duplicate files")
+    (fun () ->
+      ignore
+        (Transaction.worst_case p
+           ~reads:
+             [
+               { Transaction.file = 0; needed = 1; tolerate = 0 };
+               { Transaction.file = 0; needed = 2; tolerate = 0 };
+             ]));
+  Alcotest.check_raises "empty" (Invalid_argument "Transaction: empty read set")
+    (fun () -> ignore (Transaction.worst_case p ~reads:[]))
+
+let test_transaction_starved () =
+  let p = toy_ida () in
+  let o =
+    Transaction.retrieve ~max_slots:30 ~program:p ~reads:both_reads ~start:0
+      ~fault:(Fault.deterministic (fun _ -> true)) ()
+  in
+  check_bool "never completes under total loss" true (o.Transaction.elapsed = None)
+
+(* ------------------------------------------------------------------ *)
+(* Workload + Engine                                                   *)
+(* ------------------------------------------------------------------ *)
+
+module Workload = Pindisk_sim.Workload
+module Engine = Pindisk_sim.Engine
+module Stats = Pindisk_util.Stats
+
+let trace_for program =
+  Workload.generate ~program ~rate:0.2 ~theta:0.8
+    ~needed_of:(fun f -> if f = 0 then 5 else 3)
+    ~deadline_of:(fun f -> if f = 0 then 10 else 12)
+    ~horizon:2000 ~seed:4
+
+let test_workload_deterministic_and_sorted () =
+  let p = toy_ida () in
+  let t1 = trace_for p and t2 = trace_for p in
+  check_bool "deterministic" true (t1 = t2);
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> a.Workload.issued <= b.Workload.issued && sorted rest
+    | _ -> true
+  in
+  check_bool "sorted by issue slot" true (sorted t1);
+  check_bool "non-empty" true (List.length t1 > 200);
+  List.iter
+    (fun r ->
+      check_bool "within horizon" true (r.Workload.issued < 2000);
+      check_bool "known file" true (List.mem r.Workload.file [ 0; 1 ]))
+    t1
+
+let test_workload_rate_scales () =
+  let p = toy_ida () in
+  let at rate =
+    List.length
+      (Workload.generate ~program:p ~rate ~theta:0.5
+         ~needed_of:(fun _ -> 1)
+         ~deadline_of:(fun _ -> 10)
+         ~horizon:5000 ~seed:7)
+  in
+  let low = at 0.05 and high = at 0.4 in
+  check_bool "rate scales volume" true (high > 4 * low)
+
+let test_workload_zipf_skew () =
+  let p = toy_ida () in
+  let trace =
+    Workload.generate ~program:p ~rate:0.5 ~theta:1.2
+      ~needed_of:(fun _ -> 1)
+      ~deadline_of:(fun _ -> 10)
+      ~horizon:8000 ~seed:13
+  in
+  let count f = List.length (List.filter (fun r -> r.Workload.file = f) trace) in
+  check_bool "file 0 hotter than file 1" true (count 0 > count 1)
+
+let test_engine_error_free_all_meet () =
+  let p = toy_ida () in
+  (* Error-free worst cases are 8 slots; deadlines 10/12 are met always. *)
+  let r =
+    Engine.run ~program:p ~fault:(fun ~seed:_ -> Fault.none ()) ~seed:0
+      (trace_for p)
+  in
+  check_int "no misses" 0 r.Engine.missed;
+  check_int "all completed" r.Engine.requests r.Engine.completed;
+  check_bool "latency bounded by worst case" true
+    (Stats.max_value r.Engine.latency <= 8.0);
+  check_int "two files tracked" 2 (List.length r.Engine.per_file)
+
+let test_engine_per_file_consistency () =
+  let p = toy_ida () in
+  let r =
+    Engine.run ~program:p
+      ~fault:(fun ~seed -> Fault.bernoulli ~p:0.2 ~seed)
+      ~seed:5 (trace_for p)
+  in
+  let sum_req =
+    List.fold_left
+      (fun acc (f : Engine.file_stats) -> acc + f.Engine.requests)
+      0 r.Engine.per_file
+  in
+  let sum_miss =
+    List.fold_left
+      (fun acc (f : Engine.file_stats) -> acc + f.Engine.missed)
+      0 r.Engine.per_file
+  in
+  check_int "per-file requests sum" r.Engine.requests sum_req;
+  check_int "per-file misses sum" r.Engine.missed sum_miss;
+  check_bool "losses happened" true (r.Engine.losses > 0)
+
+let test_engine_loss_monotone () =
+  let p = toy_ida () in
+  let miss loss =
+    Engine.miss_ratio
+      (Engine.run ~program:p
+         ~fault:(fun ~seed -> Fault.bernoulli ~p:loss ~seed)
+         ~seed:5 (trace_for p))
+  in
+  check_bool "misses grow with loss" true (miss 0.05 <= miss 0.4 +. 1e-9)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "fault",
+        [
+          Alcotest.test_case "none" `Quick test_fault_none;
+          Alcotest.test_case "deterministic" `Quick test_fault_deterministic;
+          Alcotest.test_case "bernoulli reproducible" `Quick test_fault_bernoulli_reproducible;
+          Alcotest.test_case "bernoulli rate" `Quick test_fault_bernoulli_rate;
+          Alcotest.test_case "burst stationary rate" `Quick test_fault_burst_stationary_rate;
+          Alcotest.test_case "validation" `Quick test_fault_validation;
+        ] );
+      ( "client",
+        [
+          Alcotest.test_case "error-free retrieval" `Quick test_client_error_free;
+          Alcotest.test_case "B from slot 2" `Quick test_client_b_from_slot_2;
+          Alcotest.test_case "single loss: ida vs flat" `Quick test_client_single_loss_ida_vs_flat;
+          Alcotest.test_case "flat worst single loss" `Quick test_client_flat_worst_loss;
+          Alcotest.test_case "max_slots cap" `Quick test_client_max_slots;
+          Alcotest.test_case "validation" `Quick test_client_validation;
+        ] );
+      ( "adversary",
+        [
+          Alcotest.test_case "error-free worst case" `Quick test_adversary_error_free_matches_lemma;
+          Alcotest.test_case "flat = lemma-1 tight (Fig 7)" `Quick test_adversary_flat_is_lemma1_tight;
+          Alcotest.test_case "ida beats flat" `Quick test_adversary_ida_beats_flat;
+          Alcotest.test_case "lemma-2 bound within redundancy" `Quick
+            test_adversary_lemma2_bound_within_redundancy;
+          Alcotest.test_case "dominates random clients" `Quick
+            test_adversary_dominates_random_clients;
+          Alcotest.test_case "validation" `Quick test_adversary_validation;
+        ] );
+      ( "transport",
+        [
+          Alcotest.test_case "on air" `Quick test_transport_on_air;
+          Alcotest.test_case "roundtrip error-free" `Quick test_transport_roundtrip_error_free;
+          Alcotest.test_case "roundtrip under loss" `Quick test_transport_roundtrip_under_loss;
+          Alcotest.test_case "validation" `Quick test_transport_validation;
+        ] );
+      ( "transaction",
+        [
+          Alcotest.test_case "concurrent harvest" `Quick test_transaction_concurrent_harvest;
+          Alcotest.test_case "worst case is max not sum" `Quick
+            test_transaction_worst_case_is_max_not_sum;
+          Alcotest.test_case "dominates simulation" `Quick
+            test_transaction_worst_case_dominates_simulation;
+          Alcotest.test_case "shared budget" `Quick test_transaction_shared_budget;
+          Alcotest.test_case "validation" `Quick test_transaction_validation;
+          Alcotest.test_case "starved" `Quick test_transaction_starved;
+        ] );
+      ( "workload",
+        [
+          Alcotest.test_case "deterministic and sorted" `Quick
+            test_workload_deterministic_and_sorted;
+          Alcotest.test_case "rate scales volume" `Quick test_workload_rate_scales;
+          Alcotest.test_case "zipf skew" `Quick test_workload_zipf_skew;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "error-free meets all" `Quick test_engine_error_free_all_meet;
+          Alcotest.test_case "per-file consistency" `Quick test_engine_per_file_consistency;
+          Alcotest.test_case "loss monotone" `Quick test_engine_loss_monotone;
+        ] );
+      ( "experiment",
+        [
+          Alcotest.test_case "error-free" `Quick test_experiment_error_free;
+          Alcotest.test_case "lossy monotone" `Quick test_experiment_lossy_monotone;
+          Alcotest.test_case "ida beats flat" `Quick test_experiment_ida_beats_flat_under_loss;
+        ] );
+    ]

@@ -1,0 +1,245 @@
+module Intmath = Pindisk_util.Intmath
+module Q = Pindisk_util.Q
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Intmath                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_gcd () =
+  check_int "gcd 12 18" 6 (Intmath.gcd 12 18);
+  check_int "gcd 0 0" 0 (Intmath.gcd 0 0);
+  check_int "gcd 0 7" 7 (Intmath.gcd 0 7);
+  check_int "gcd neg" 6 (Intmath.gcd (-12) 18);
+  check_int "gcd coprime" 1 (Intmath.gcd 17 31)
+
+let test_lcm () =
+  check_int "lcm 4 6" 12 (Intmath.lcm 4 6);
+  check_int "lcm 0 5" 0 (Intmath.lcm 0 5);
+  check_int "lcm 7 7" 7 (Intmath.lcm 7 7);
+  check_int "lcm_list" 60 (Intmath.lcm_list [ 4; 6; 10 ]);
+  check_int "lcm_list empty" 1 (Intmath.lcm_list []);
+  Alcotest.check_raises "lcm overflow" Intmath.Overflow (fun () ->
+      ignore (Intmath.lcm max_int (max_int - 1)))
+
+let test_pow () =
+  check_int "2^10" 1024 (Intmath.pow 2 10);
+  check_int "x^0" 1 (Intmath.pow 5 0);
+  check_int "0^5" 0 (Intmath.pow 0 5);
+  check_int "1^big" 1 (Intmath.pow 1 1000);
+  Alcotest.check_raises "pow overflow" Intmath.Overflow (fun () ->
+      ignore (Intmath.pow 2 64));
+  Alcotest.check_raises "pow negative" (Invalid_argument "Intmath.pow: negative exponent")
+    (fun () -> ignore (Intmath.pow 2 (-1)))
+
+let test_divisions () =
+  check_int "floor_div pos" 2 (Intmath.floor_div 7 3);
+  check_int "floor_div neg" (-3) (Intmath.floor_div (-7) 3);
+  check_int "ceil_div pos" 3 (Intmath.ceil_div 7 3);
+  check_int "ceil_div exact" 2 (Intmath.ceil_div 6 3);
+  check_int "ceil_div neg" (-2) (Intmath.ceil_div (-7) 3)
+
+let test_log2 () =
+  check_int "floor_log2 1" 0 (Intmath.floor_log2 1);
+  check_int "floor_log2 2" 1 (Intmath.floor_log2 2);
+  check_int "floor_log2 1023" 9 (Intmath.floor_log2 1023);
+  check_int "floor_log2 1024" 10 (Intmath.floor_log2 1024);
+  check_int "floor_pow2 100" 64 (Intmath.floor_pow2 100);
+  check_bool "is_power_of_two 64" true (Intmath.is_power_of_two 64);
+  check_bool "is_power_of_two 0" false (Intmath.is_power_of_two 0);
+  check_bool "is_power_of_two 96" false (Intmath.is_power_of_two 96)
+
+let test_lists () =
+  Alcotest.(check (list int)) "range" [ 2; 3; 4 ] (Intmath.range 2 5);
+  Alcotest.(check (list int)) "range empty" [] (Intmath.range 5 5);
+  check_int "sum" 10 (Intmath.sum [ 1; 2; 3; 4 ]);
+  check_int "max_list" 9 (Intmath.max_list [ 3; 9; 1 ]);
+  check_int "min_list" 1 (Intmath.min_list [ 3; 9; 1 ])
+
+(* ------------------------------------------------------------------ *)
+(* Q                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let q = Alcotest.testable Q.pp Q.equal
+
+let test_q_normalization () =
+  Alcotest.check q "6/8 = 3/4" (Q.make 3 4) (Q.make 6 8);
+  Alcotest.check q "neg den" (Q.make (-1) 2) (Q.make 1 (-2));
+  Alcotest.check q "zero" Q.zero (Q.make 0 17);
+  check_int "den positive" 2 (Q.make 1 (-2)).Q.den;
+  Alcotest.check_raises "zero den" (Invalid_argument "Q.make: zero denominator")
+    (fun () -> ignore (Q.make 1 0))
+
+let test_q_arith () =
+  Alcotest.check q "1/2 + 1/3" (Q.make 5 6) (Q.add (Q.make 1 2) (Q.make 1 3));
+  Alcotest.check q "1/2 - 1/3" (Q.make 1 6) (Q.sub (Q.make 1 2) (Q.make 1 3));
+  Alcotest.check q "2/3 * 3/4" (Q.make 1 2) (Q.mul (Q.make 2 3) (Q.make 3 4));
+  Alcotest.check q "div" (Q.make 8 9) (Q.div (Q.make 2 3) (Q.make 3 4));
+  Alcotest.check q "sum" Q.one (Q.sum [ Q.make 1 2; Q.make 1 3; Q.make 1 6 ]);
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (Q.div Q.one Q.zero))
+
+let test_q_compare () =
+  check_bool "7/10 <= 7/10" true Q.(Q.make 7 10 <= Q.make 7 10);
+  check_bool "7/10 < 7/10" false Q.(Q.make 7 10 < Q.make 7 10);
+  check_bool "boundary 1/2+1/6+1/3 <= 1" true Q.(Q.sum [ Q.make 1 2; Q.make 1 6; Q.make 1 3 ] <= Q.one);
+  check_bool "just above 1" false
+    Q.(Q.sum [ Q.make 1 2; Q.make 1 6; Q.make 1 3; Q.make 1 1000 ] <= Q.one);
+  Alcotest.check q "min" (Q.make 1 3) (Q.min (Q.make 1 2) (Q.make 1 3));
+  Alcotest.check q "max" (Q.make 1 2) (Q.max (Q.make 1 2) (Q.make 1 3))
+
+let test_q_rounding () =
+  check_int "ceil 7/2" 4 (Q.ceil (Q.make 7 2));
+  check_int "ceil 6/2" 3 (Q.ceil (Q.make 6 2));
+  check_int "ceil -7/2" (-3) (Q.ceil (Q.make (-7) 2));
+  check_int "floor 7/2" 3 (Q.floor (Q.make 7 2));
+  check_int "floor -7/2" (-4) (Q.floor (Q.make (-7) 2));
+  Alcotest.(check string) "pp frac" "7/10" (Q.to_string (Q.make 7 10));
+  Alcotest.(check string) "pp int" "3" (Q.to_string (Q.of_int 3))
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                              *)
+(* ------------------------------------------------------------------ *)
+
+module Stats = Pindisk_util.Stats
+
+let test_stats_basics () =
+  let s = Stats.create () in
+  List.iter (Stats.add_int s) [ 4; 1; 3; 2; 5 ];
+  check_int "count" 5 (Stats.count s);
+  Alcotest.(check (float 1e-9)) "mean" 3.0 (Stats.mean s);
+  Alcotest.(check (float 1e-9)) "total" 15.0 (Stats.total s);
+  Alcotest.(check (float 1e-9)) "variance" 2.0 (Stats.variance s);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Stats.min_value s);
+  Alcotest.(check (float 1e-9)) "max" 5.0 (Stats.max_value s);
+  Alcotest.(check (float 1e-9)) "median" 3.0 (Stats.median s)
+
+let test_stats_percentile_interpolation () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 10.0; 20.0 ];
+  Alcotest.(check (float 1e-9)) "p0" 10.0 (Stats.percentile s 0.0);
+  Alcotest.(check (float 1e-9)) "p50" 15.0 (Stats.percentile s 50.0);
+  Alcotest.(check (float 1e-9)) "p100" 20.0 (Stats.percentile s 100.0);
+  Alcotest.(check (float 1e-9)) "p25" 12.5 (Stats.percentile s 25.0)
+
+let test_stats_add_after_percentile () =
+  (* Sorting for a percentile must not corrupt later additions. *)
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 3.0; 1.0 ];
+  ignore (Stats.median s);
+  Stats.add s 2.0;
+  Alcotest.(check (float 1e-9)) "median after more adds" 2.0 (Stats.median s);
+  check_int "count" 3 (Stats.count s)
+
+let test_stats_empty () =
+  let s = Stats.create () in
+  check_bool "mean nan" true (Float.is_nan (Stats.mean s));
+  Alcotest.check_raises "min of empty" (Invalid_argument "Stats.min_value: empty")
+    (fun () -> ignore (Stats.min_value s));
+  Alcotest.(check (list (triple (float 1e-9) (float 1e-9) int))) "histogram empty" []
+    (Stats.histogram s ~buckets:4)
+
+let test_stats_histogram () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 0.0; 1.0; 2.0; 3.0 ];
+  let h = Stats.histogram s ~buckets:2 in
+  check_int "two buckets" 2 (List.length h);
+  let counts = List.map (fun (_, _, c) -> c) h in
+  Alcotest.(check (list int)) "counts" [ 2; 2 ] counts
+
+let prop_stats_percentiles_monotone =
+  QCheck2.Test.make ~name:"percentiles are monotone" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 30) (float_bound_inclusive 100.0))
+    (fun xs ->
+      let s = Stats.create () in
+      List.iter (Stats.add s) xs;
+      let ps = [ 0.0; 10.0; 25.0; 50.0; 75.0; 90.0; 100.0 ] in
+      let vals = List.map (Stats.percentile s) ps in
+      let rec mono = function
+        | a :: (b :: _ as rest) -> a <= b +. 1e-9 && mono rest
+        | _ -> true
+      in
+      mono vals
+      && Stats.percentile s 0.0 = Stats.min_value s
+      && Stats.percentile s 100.0 = Stats.max_value s)
+
+(* qcheck properties *)
+
+let small = QCheck2.Gen.int_range (-50) 50
+let small_pos = QCheck2.Gen.int_range 1 50
+
+let arb_q =
+  QCheck2.Gen.map2 (fun n d -> Q.make n d) small small_pos
+
+let prop_add_commutative =
+  QCheck2.Test.make ~name:"Q.add commutative" ~count:500
+    QCheck2.Gen.(pair arb_q arb_q)
+    (fun (a, b) -> Q.equal (Q.add a b) (Q.add b a))
+
+let prop_add_associative =
+  QCheck2.Test.make ~name:"Q.add associative" ~count:500
+    QCheck2.Gen.(triple arb_q arb_q arb_q)
+    (fun (a, b, c) -> Q.equal (Q.add (Q.add a b) c) (Q.add a (Q.add b c)))
+
+let prop_mul_distributes =
+  QCheck2.Test.make ~name:"Q.mul distributes over add" ~count:500
+    QCheck2.Gen.(triple arb_q arb_q arb_q)
+    (fun (a, b, c) ->
+      Q.equal (Q.mul a (Q.add b c)) (Q.add (Q.mul a b) (Q.mul a c)))
+
+let prop_compare_matches_float =
+  QCheck2.Test.make ~name:"Q.compare agrees with float on non-ties" ~count:500
+    QCheck2.Gen.(pair arb_q arb_q)
+    (fun (a, b) ->
+      let fa = Q.to_float a and fb = Q.to_float b in
+      if abs_float (fa -. fb) < 1e-9 then true
+      else compare fa fb = Q.compare a b)
+
+let prop_floor_ceil =
+  QCheck2.Test.make ~name:"floor <= q <= ceil, within 1" ~count:500 arb_q
+    (fun a ->
+      let f = Q.floor a and c = Q.ceil a in
+      Q.(Q.of_int f <= a) && Q.(a <= Q.of_int c) && c - f <= 1)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "intmath",
+        [
+          Alcotest.test_case "gcd" `Quick test_gcd;
+          Alcotest.test_case "lcm" `Quick test_lcm;
+          Alcotest.test_case "pow" `Quick test_pow;
+          Alcotest.test_case "divisions" `Quick test_divisions;
+          Alcotest.test_case "log2" `Quick test_log2;
+          Alcotest.test_case "lists" `Quick test_lists;
+        ] );
+      ( "q",
+        [
+          Alcotest.test_case "normalization" `Quick test_q_normalization;
+          Alcotest.test_case "arithmetic" `Quick test_q_arith;
+          Alcotest.test_case "compare" `Quick test_q_compare;
+          Alcotest.test_case "rounding" `Quick test_q_rounding;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "basics" `Quick test_stats_basics;
+          Alcotest.test_case "percentile interpolation" `Quick
+            test_stats_percentile_interpolation;
+          Alcotest.test_case "add after percentile" `Quick test_stats_add_after_percentile;
+          Alcotest.test_case "empty" `Quick test_stats_empty;
+          Alcotest.test_case "histogram" `Quick test_stats_histogram;
+        ] );
+      ( "stats-properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_stats_percentiles_monotone ] );
+      ( "q-properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_add_commutative;
+            prop_add_associative;
+            prop_mul_distributes;
+            prop_compare_matches_float;
+            prop_floor_ceil;
+          ] );
+    ]
