@@ -26,6 +26,7 @@ let experiments =
     ("e16", "Decomposition ablation", Exp_decomposition.run);
     ("e17", "Spacing-quality ablation", Exp_quality.run);
     ("e18", "Transactions ablation", Exp_transaction.run);
+    ("e19", "Adaptive degradation: static vs closed-loop", Exp_adaptive.run);
   ]
 
 let () =

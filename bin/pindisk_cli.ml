@@ -8,6 +8,8 @@
      convert    -- compile a generalized broadcast condition to nice
                    pinwheel conditions
      simulate   -- stochastic retrieval simulation on a program
+     adapt      -- static vs closed-loop adaptive server on a scripted
+                   time-varying channel
 
    File syntax (repeatable -f): NAME:BLOCKS:LATENCY[:TOLERANCE]
    Task syntax (repeatable -t): A/B  (task needs A of every B slots)
@@ -517,6 +519,144 @@ let receive_cmd =
        ~doc:"Reconstruct one file from a broadcast stream on stdin")
     Term.(ret (const (fun () -> run) $ setup_logs $ file $ loss $ seed))
 
+(* ---------------- adapt ---------------- *)
+
+(* Closed-loop adaptive degradation demo: a static AIDA server and the
+   adaptive controller (loss estimator -> hysteresis policy -> degradation
+   ladder -> cycle-boundary hot-swap) run the same request trace over the
+   same scripted channel; the report shows per-phase miss ratios and the
+   swap log. *)
+
+let adapt_cmd =
+  let module Item = Pindisk_rtdb.Item in
+  let module Mode = Pindisk_rtdb.Mode in
+  let module Aida = Pindisk_ida.Aida in
+  let module Adapt = Pindisk_adapt in
+  let parse_phase s =
+    (* LEN:RATE -- a channel segment of LEN slots at stationary loss RATE,
+       realized as a Gilbert-Elliott chain. *)
+    match String.split_on_char ':' s with
+    | [ len; rate ] -> (
+        match (int_of_string_opt len, float_of_string_opt rate) with
+        | Some len, Some rate when len > 0 && rate >= 0.0 && rate <= 0.75 ->
+            Ok (len, rate)
+        | _ -> Error (Printf.sprintf "bad phase %S (want LEN:RATE, rate <= 0.75)" s))
+    | _ -> Error (Printf.sprintf "bad phase %S (want LEN:RATE)" s)
+  in
+  let run phases rate seed bucket =
+    let phases = if phases = [] then [ "4000:0.01"; "6000:0.4"; "6000:0.01" ] else phases in
+    if rate <= 0.0 then fail "request rate must be positive"
+    else if bucket < 1 then fail "bucket must be >= 1"
+    else
+    match collect (fun _ s -> parse_phase s) phases with
+    | Error e -> fail "%s" e
+    | Ok phases ->
+        let items =
+          [
+            Item.make ~id:0 ~name:"alerts" ~blocks:2 ~avi:4 ~value:100 ();
+            Item.make ~id:1 ~name:"telemetry" ~blocks:3 ~avi:8 ~value:30 ();
+            Item.make ~id:2 ~name:"map" ~blocks:6 ~avi:24 ~value:10 ();
+            Item.make ~id:3 ~name:"feed" ~blocks:8 ~avi:48 ~value:1 ();
+          ]
+        in
+        let cruise =
+          Mode.make ~name:"cruise" ~default:Aida.Non_real_time
+            [
+              ("alerts", Aida.Critical 2);
+              ("telemetry", Aida.Standard);
+              ("map", Aida.Standard);
+            ]
+        in
+        let essential =
+          Mode.make ~name:"essential" ~default:Aida.Non_real_time
+            [ ("alerts", Aida.Critical 2); ("telemetry", Aida.Standard) ]
+        in
+        let bandwidth = 4 in
+        let ladder =
+          Adapt.Ladder.create ~fallbacks:[ essential ] ~max_boost:3 ~bandwidth
+            ~base_mode:cruise items
+        in
+        let policy =
+          Adapt.Policy.create ~dwell:3
+            [
+              Adapt.Policy.level "clear";
+              Adapt.Policy.level ~boost:1 ~enter:0.10 ~exit:0.05 "degraded";
+              Adapt.Policy.level ~boost:2 ~enter:0.25 ~exit:0.15 "storm";
+            ]
+        in
+        let estimator = Adapt.Estimator.create ~alpha:0.6 ~window:32 () in
+        let ctl = Adapt.Controller.create ~estimator ~policy ladder in
+        let baseline = (Adapt.Controller.plan ctl).Adapt.Ladder.program in
+        let script =
+          List.mapi
+            (fun i (length, loss) ->
+              {
+                Adapt.Driver.length;
+                fault =
+                  Pindisk_sim.Fault.burst ~p_good_to_bad:0.3 ~p_bad_to_good:0.1
+                    ~loss_good:0.0 ~loss_bad:(loss /. 0.75) ~seed:(seed + i);
+              })
+            phases
+        in
+        let losses = Adapt.Driver.losses script in
+        let horizon = Array.length losses in
+        let trace =
+          Pindisk_sim.Workload.generate ~program:baseline ~rate ~theta:0.9
+            ~needed_of:(fun id -> (List.nth items id).Item.blocks)
+            ~deadline_of:(fun id -> bandwidth * (List.nth items id).Item.avi)
+            ~horizon ~seed:(seed + 100)
+        in
+        let static = Adapt.Driver.run ~bucket ~program:baseline ~losses trace in
+        let adaptive =
+          Adapt.Driver.run ~bucket ~controller:ctl ~program:baseline ~losses trace
+        in
+        Format.printf "bandwidth %d blocks/sec; %d requests over %d slots@."
+          bandwidth (List.length trace) horizon;
+        Format.printf "%-24s %10s %10s@." "phase (slots at rate)" "static"
+          "adaptive";
+        let t0 = ref 0 in
+        List.iter
+          (fun (len, loss) ->
+            let t1 = !t0 + len in
+            Format.printf "%-24s %9.1f%% %9.1f%%@."
+              (Printf.sprintf "%d..%d @ %.0f%%" !t0 t1 (100.0 *. loss))
+              (100.0 *. Adapt.Driver.window_miss_ratio static ~t0:!t0 ~t1)
+              (100.0 *. Adapt.Driver.window_miss_ratio adaptive ~t0:!t0 ~t1);
+            t0 := t1)
+          phases;
+        Format.printf "%-24s %9.1f%% %9.1f%%@." "overall"
+          (100.0 *. Adapt.Driver.miss_ratio static)
+          (100.0 *. Adapt.Driver.miss_ratio adaptive);
+        Format.printf "swap log:@.";
+        if adaptive.Adapt.Driver.swaps = [] then Format.printf "  (no swaps)@."
+        else
+          List.iter
+            (fun e -> Format.printf "  %a@." Adapt.Swap.pp_entry e)
+            adaptive.Adapt.Driver.swaps;
+        `Ok ()
+  in
+  let phases =
+    Arg.(
+      value & opt_all string []
+      & info [ "p"; "phase" ] ~docv:"LEN:RATE"
+          ~doc:
+            "A channel segment: LEN slots at stationary loss RATE (repeat \
+             for a script; default 4000:0.01 6000:0.4 6000:0.01).")
+  in
+  let rate =
+    Arg.(
+      value & opt float 0.08
+      & info [ "rate" ] ~doc:"Request arrival rate per slot.")
+  in
+  let seed = Arg.(value & opt int 11 & info [ "seed" ] ~doc:"Random seed.") in
+  let bucket =
+    Arg.(value & opt int 500 & info [ "bucket" ] ~doc:"Timeline bucket in slots.")
+  in
+  Cmd.v
+    (Cmd.info "adapt"
+       ~doc:"Closed-loop adaptive degradation vs a static server")
+    Term.(ret (const (fun () -> run) $ setup_logs $ phases $ rate $ seed $ bucket))
+
 (* ---------------- simulate ---------------- *)
 
 let simulate_cmd =
@@ -568,6 +708,7 @@ let () =
             program_cmd;
             convert_cmd;
             simulate_cmd;
+            adapt_cmd;
             analyze_cmd;
             export_cmd;
             inspect_cmd;

@@ -1,0 +1,53 @@
+type t = {
+  estimator : Estimator.t;
+  policy : Policy.t;
+  ladder : Ladder.t;
+  swap : Swap.t;
+  decision_windows : int;
+  mutable plan : Ladder.plan;
+  mutable last_window : int;
+}
+
+let create ?(decision_windows = 1) ~estimator ~policy ladder =
+  if decision_windows < 1 then
+    invalid_arg "Controller.create: decision_windows must be >= 1";
+  let plan = Ladder.plan ladder ~boost:0 in
+  {
+    estimator;
+    policy;
+    ladder;
+    swap = Swap.create plan.Ladder.program;
+    decision_windows;
+    plan;
+    last_window = 0;
+  }
+
+let tick t slot = Swap.tick t.swap slot
+let report t ~lost = Estimator.observe t.estimator ~lost
+
+let decide t ~slot =
+  ignore slot;
+  let w = Estimator.windows t.estimator in
+  if w - t.last_window >= t.decision_windows then begin
+    t.last_window <- w;
+    let e = Estimator.estimate t.estimator in
+    match Policy.observe t.policy e with
+    | None -> ()
+    | Some idx ->
+        let level = (Policy.levels t.policy).(idx) in
+        let plan = Ladder.plan t.ladder ~boost:level.Policy.boost in
+        t.plan <- plan;
+        let cause =
+          Format.asprintf "loss estimate %.3f -> level %s (boost %d, %a)" e
+            level.Policy.name level.Policy.boost Ladder.pp_rung
+            plan.Ladder.rung
+        in
+        Swap.stage t.swap ~cause plan.Ladder.program
+  end
+
+let block_at t slot = Swap.block_at t.swap slot
+let plan t = t.plan
+let estimate t = Estimator.estimate t.estimator
+let level t = Policy.current_level t.policy
+let swap t = t.swap
+let swap_log t = Swap.log t.swap

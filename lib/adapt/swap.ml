@@ -1,0 +1,72 @@
+module Program = Pindisk.Program
+module Codec = Pindisk.Codec
+
+type boundary = Period | Data_cycle
+
+type entry = {
+  slot : int;
+  phase : int;
+  cause : string;
+  old_digest : string;
+  new_digest : string;
+}
+
+let pp_entry ppf e =
+  Format.fprintf ppf "slot %d (phase %d): %s -> %s: %s" e.slot e.phase
+    (String.sub e.old_digest 0 8)
+    (String.sub e.new_digest 0 8)
+    e.cause
+
+let digest p = Digest.to_hex (Digest.string (Codec.to_string p))
+
+type t = {
+  boundary : boundary;
+  mutable program : Program.t;
+  mutable origin : int;
+  mutable live_digest : string;
+  mutable staged : (Program.t * string * string) option;
+      (* program, digest, cause *)
+  mutable log : entry list; (* newest first *)
+}
+
+let create ?(boundary = Period) ?(slot = 0) program =
+  { boundary; program; origin = slot; live_digest = digest program;
+    staged = None; log = [] }
+
+let cycle t =
+  match t.boundary with
+  | Period -> Program.period t.program
+  | Data_cycle -> Program.data_cycle t.program
+
+let program t = t.program
+let origin t = t.origin
+
+let block_at t slot =
+  if slot < t.origin then invalid_arg "Swap.block_at: slot before origin";
+  Program.block_at t.program (slot - t.origin)
+
+let stage t ~cause p =
+  let d = digest p in
+  if d = t.live_digest then t.staged <- None else t.staged <- Some (p, d, cause)
+
+let pending t = t.staged <> None
+
+let tick t slot =
+  match t.staged with
+  | None -> None
+  | Some (p, d, cause) ->
+      let phase = (slot - t.origin) mod cycle t in
+      if phase <> 0 then None
+      else begin
+        let entry =
+          { slot; phase; cause; old_digest = t.live_digest; new_digest = d }
+        in
+        t.program <- p;
+        t.origin <- slot;
+        t.live_digest <- d;
+        t.staged <- None;
+        t.log <- entry :: t.log;
+        Some entry
+      end
+
+let log t = List.rev t.log

@@ -17,7 +17,7 @@ let pp_outcome ppf o =
   | None ->
       Format.fprintf ppf "incomplete (%d received, %d lost)" o.receptions o.losses
 
-let retrieve ?max_slots ~program ~file ~needed ~start ~fault () =
+let retrieve ?max_slots ?report ~program ~file ~needed ~start ~fault () =
   if start < 0 then invalid_arg "Client.retrieve: negative start";
   if needed < 1 then invalid_arg "Client.retrieve: needed must be >= 1";
   (match Program.capacity program file with
@@ -40,14 +40,20 @@ let retrieve ?max_slots ~program ~file ~needed ~start ~fault () =
   while !result = None && !t - start < max_slots do
     let lost = Fault.advance fault in
     (match Program.block_at program !t with
-    | Some (f, idx) when f = file ->
-        if lost then incr losses
-        else begin
-          if not (Hashtbl.mem collected idx) then Hashtbl.replace collected idx ();
-          incr receptions;
-          if Hashtbl.length collected >= needed then result := Some !t
-        end
-    | Some _ | None -> ());
+    | Some (f, idx) ->
+        (* Feedback path: the client observes every busy slot's reception
+           outcome, not only its own file's, and reports it upstream. *)
+        (match report with
+        | Some fn -> fn ~slot:!t ~file:f ~lost
+        | None -> ());
+        if f = file then
+          if lost then incr losses
+          else begin
+            if not (Hashtbl.mem collected idx) then Hashtbl.replace collected idx ();
+            incr receptions;
+            if Hashtbl.length collected >= needed then result := Some !t
+          end
+    | None -> ());
     incr t
   done;
   match !result with

@@ -18,12 +18,16 @@ type outcome = {
 val pp_outcome : Format.formatter -> outcome -> unit
 
 val retrieve :
-  ?max_slots:int -> program:Pindisk.Program.t -> file:int -> needed:int ->
+  ?max_slots:int -> ?report:(slot:int -> file:int -> lost:bool -> unit) ->
+  program:Pindisk.Program.t -> file:int -> needed:int ->
   start:int -> fault:Fault.t -> unit -> outcome
 (** [retrieve ~program ~file ~needed ~start ~fault ()] simulates one
     retrieval. The fault process is {!Fault.reset_to} the start slot and
     advanced once per slot. [max_slots] (default [100 * data_cycle])
-    bounds the wait: on overrun [completed_at = None]. Raises
+    bounds the wait: on overrun [completed_at = None]. [report], when
+    given, is called for every busy slot the client watches with the
+    reception outcome — the feedback path a server-side loss estimator
+    (e.g. [Pindisk_adapt.Estimator]) consumes. Raises
     [Invalid_argument] when [needed] exceeds the file's capacity (the
     client could never finish) or the file is not broadcast. *)
 

@@ -20,6 +20,10 @@ let miss_ratio r =
   if r.requests = 0 then 0.0
   else float_of_int r.missed /. float_of_int r.requests
 
+let file_miss_ratio (f : file_stats) =
+  if f.requests = 0 then 0.0
+  else float_of_int f.missed /. float_of_int f.requests
+
 let run ?max_slots ~program ~fault ~seed trace =
   let global = Stats.create () in
   let per_file : (int, int ref * int ref * Stats.t) Hashtbl.t =
@@ -71,8 +75,16 @@ let run ?max_slots ~program ~fault ~seed trace =
       |> List.sort (fun a b -> compare a.file b.file);
   }
 
+let pp_file_stats ppf (f : file_stats) =
+  Format.fprintf ppf "file %d: %d requests, %d missed (%.1f%%)" f.file
+    f.requests f.missed
+    (100.0 *. file_miss_ratio f)
+
 let pp_result ppf r =
   Format.fprintf ppf "%d requests, %d completed, %d missed (%.1f%%); latency %a"
     r.requests r.completed r.missed
     (100.0 *. miss_ratio r)
-    Stats.pp_summary r.latency
+    Stats.pp_summary r.latency;
+  List.iter
+    (fun f -> Format.fprintf ppf "@.  %a" pp_file_stats f)
+    r.per_file

@@ -24,6 +24,14 @@ type result = {
 
 val miss_ratio : result -> float
 
+val file_miss_ratio : file_stats -> float
+(** [missed / requests] for one file; [0.0] when the file saw no
+    requests. Degradation experiments compare programs across workload
+    sizes, so the ratio — not the raw count — is the comparable number. *)
+
+val pp_file_stats : Format.formatter -> file_stats -> unit
+(** "file F: N requests, M missed (R%)". *)
+
 val run :
   ?max_slots:int -> program:Pindisk.Program.t ->
   fault:(seed:int -> Fault.t) -> seed:int -> Workload.request list -> result
@@ -31,3 +39,5 @@ val run :
     gets the fault process [fault ~seed:(seed + k)]. *)
 
 val pp_result : Format.formatter -> result -> unit
+(** The global summary followed by one {!pp_file_stats} line per file,
+    each with its per-file miss ratio. *)

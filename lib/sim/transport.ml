@@ -49,7 +49,7 @@ let source_blocks t file =
   | Some s -> s.m
   | None -> raise Not_found
 
-let retrieve ?max_slots t ~file ~start ~fault () =
+let retrieve ?max_slots ?report t ~file ~start ~fault () =
   if start < 0 then invalid_arg "Transport.retrieve: negative start";
   let s =
     match Hashtbl.find_opt t.store file with
@@ -68,14 +68,18 @@ let retrieve ?max_slots t ~file ~start ~fault () =
   while !result = None && !slot - start < max_slots do
     let lost = Fault.advance fault in
     (match on_air t !slot with
-    | Some (f, piece) when f = file && not lost ->
-        if not (Hashtbl.mem collected piece.Ida.index) then begin
-          Hashtbl.replace collected piece.Ida.index piece;
-          if Hashtbl.length collected >= s.m then
-            let pieces = Hashtbl.fold (fun _ p acc -> p :: acc) collected [] in
-            result := Some (Ida.reconstruct s.ida ~length:s.length pieces)
-        end
-    | Some _ | None -> ());
+    | Some (f, piece) ->
+        (match report with
+        | Some fn -> fn ~slot:!slot ~file:f ~lost
+        | None -> ());
+        if f = file && not lost then
+          if not (Hashtbl.mem collected piece.Ida.index) then begin
+            Hashtbl.replace collected piece.Ida.index piece;
+            if Hashtbl.length collected >= s.m then
+              let pieces = Hashtbl.fold (fun _ p acc -> p :: acc) collected [] in
+              result := Some (Ida.reconstruct s.ida ~length:s.length pieces)
+          end
+    | None -> ());
     incr slot
   done;
   !result

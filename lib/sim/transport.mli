@@ -28,10 +28,13 @@ val source_blocks : t -> int -> int
     files. *)
 
 val retrieve :
-  ?max_slots:int -> t -> file:int -> start:int -> fault:Fault.t -> unit ->
+  ?max_slots:int -> ?report:(slot:int -> file:int -> lost:bool -> unit) ->
+  t -> file:int -> start:int -> fault:Fault.t -> unit ->
   bytes option
 (** Collect pieces of [file] from slot [start] under the fault process
     until [m] distinct pieces arrive, then reconstruct and return the
     original bytes. [None] if the slot budget (default 100 data cycles)
     runs out first. The result, when present, is bit-exact equal to the
-    stored content (the tests assert it). *)
+    stored content (the tests assert it). [report], when given, receives
+    every busy slot's reception outcome — the feedback path a server-side
+    loss estimator (e.g. [Pindisk_adapt.Estimator]) consumes. *)

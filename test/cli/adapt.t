@@ -1,0 +1,22 @@
+The adapt command replays one scripted channel (good -> bad -> good) and
+one request trace against a static server and a closed-loop adaptive one.
+The adaptive server estimates the loss rate online, boosts redundancy when
+the bad phase is confirmed, and swaps programs only at cycle boundaries
+(phase 0 in the log), walking back when the channel recovers:
+
+  $ pindisk adapt --phase 1000:0.01 --phase 2000:0.4 --phase 1000:0.01 --rate 0.06
+  bandwidth 4 blocks/sec; 212 requests over 4000 slots
+  phase (slots at rate)        static   adaptive
+  0..1000 @ 1%                   2.1%       2.1%
+  1000..3000 @ 40%              37.5%      26.0%
+  3000..4000 @ 1%                3.3%       3.3%
+  overall                       19.8%      14.2%
+  swap log:
+    slot 1280 (phase 0): eac5c2d8 -> 71f3abfb: loss estimate 0.270 -> level storm (boost 2, boost+2)
+    slot 3328 (phase 0): 71f3abfb -> eac5c2d8: loss estimate 0.005 -> level clear (boost 0, baseline)
+
+Phase rates above 75% are rejected (the burst channel cannot realize them):
+
+  $ pindisk adapt --phase 100:0.9
+  pindisk: bad phase "100:0.9" (want LEN:RATE, rate <= 0.75)
+  [124]

@@ -1,0 +1,637 @@
+module Estimator = Pindisk_adapt.Estimator
+module Policy = Pindisk_adapt.Policy
+module Ladder = Pindisk_adapt.Ladder
+module Swap = Pindisk_adapt.Swap
+module Controller = Pindisk_adapt.Controller
+module Driver = Pindisk_adapt.Driver
+module Item = Pindisk_rtdb.Item
+module Mode = Pindisk_rtdb.Mode
+module Aida = Pindisk_ida.Aida
+module Program = Pindisk.Program
+module Fault = Pindisk_sim.Fault
+module Workload = Pindisk_sim.Workload
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Estimator                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let feed_window e ~lost ~clean =
+  for _ = 1 to lost do
+    Estimator.observe e ~lost:true
+  done;
+  for _ = 1 to clean do
+    Estimator.observe e ~lost:false
+  done
+
+let test_estimator_window_math () =
+  let e = Estimator.create ~alpha:0.5 ~window:4 () in
+  check_float "silent before any report" 0.0 (Estimator.estimate e);
+  Estimator.observe e ~lost:true;
+  Estimator.observe e ~lost:true;
+  Estimator.observe e ~lost:false;
+  check_float "still silent mid-window" 0.0 (Estimator.estimate e);
+  check_int "no window yet" 0 (Estimator.windows e);
+  Estimator.observe e ~lost:false;
+  (* First window initializes the EWMA to its raw rate. *)
+  check_float "first window raw rate" 0.5 (Estimator.estimate e);
+  check_float "last window" 0.5 (Estimator.last_window e);
+  feed_window e ~lost:0 ~clean:4;
+  (* 0.5 * 0.0 + 0.5 * 0.5 = 0.25. *)
+  check_float "ewma blends" 0.25 (Estimator.estimate e);
+  check_float "last window is raw" 0.0 (Estimator.last_window e);
+  check_int "two windows" 2 (Estimator.windows e);
+  check_int "eight reports" 8 (Estimator.reports e)
+
+let test_estimator_burst_vs_sustained () =
+  (* A lone bad window moves the estimate by alpha of the jump; a
+     sustained change converges to the new rate. *)
+  let e = Estimator.create ~alpha:0.4 ~window:10 () in
+  feed_window e ~lost:0 ~clean:10;
+  feed_window e ~lost:0 ~clean:10;
+  check_float "clean baseline" 0.0 (Estimator.estimate e);
+  feed_window e ~lost:10 ~clean:0;
+  check_float "burst absorbed to alpha" 0.4 (Estimator.estimate e);
+  check_float "raw rate saw the full burst" 1.0 (Estimator.last_window e);
+  feed_window e ~lost:0 ~clean:10;
+  check_bool "burst decays" true (Estimator.estimate e < 0.4);
+  for _ = 1 to 20 do
+    feed_window e ~lost:10 ~clean:0
+  done;
+  check_bool "sustained loss converges" true (Estimator.estimate e > 0.99)
+
+let test_estimator_validation () =
+  Alcotest.check_raises "alpha zero"
+    (Invalid_argument "Estimator.create: alpha must be in (0, 1]") (fun () ->
+      ignore (Estimator.create ~alpha:0.0 ()));
+  Alcotest.check_raises "alpha above one"
+    (Invalid_argument "Estimator.create: alpha must be in (0, 1]") (fun () ->
+      ignore (Estimator.create ~alpha:1.5 ()));
+  Alcotest.check_raises "empty window"
+    (Invalid_argument "Estimator.create: window must be >= 1") (fun () ->
+      ignore (Estimator.create ~window:0 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Policy                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let three_levels ?(dwell = 2) () =
+  Policy.create ~dwell
+    [
+      Policy.level "clear";
+      Policy.level ~enter:0.1 ~exit:0.05 ~boost:1 "degraded";
+      Policy.level ~enter:0.3 ~exit:0.15 ~boost:2 "storm";
+    ]
+
+let test_policy_dwell_commit () =
+  let p = three_levels () in
+  check_int "starts at baseline" 0 (Policy.current p);
+  check_bool "one bad epoch proposes only" true (Policy.observe p 0.2 = None);
+  check_bool "second bad epoch commits" true (Policy.observe p 0.2 = Some 1);
+  check_int "current moved" 1 (Policy.current p);
+  check_bool "level carries its boost" true
+    ((Policy.current_level p).Policy.boost = 1)
+
+let test_policy_lone_spike_forgotten () =
+  let p = three_levels () in
+  ignore (Policy.observe p 0.5);
+  (* Estimate back in band: the candidate is dropped, not remembered. *)
+  check_bool "clean epoch resets" true (Policy.observe p 0.0 = None);
+  check_bool "fresh spike must re-earn dwell" true (Policy.observe p 0.5 = None);
+  check_int "still baseline" 0 (Policy.current p)
+
+let test_policy_no_flap_in_hysteresis_band () =
+  (* Oscillation across the enter threshold but inside the band: the
+     candidate alternates, the streak never reaches dwell, nothing
+     commits. *)
+  let p = three_levels () in
+  for _ = 1 to 50 do
+    check_bool "above enter proposes" true (Policy.observe p 0.12 = None);
+    check_bool "below enter resets" true (Policy.observe p 0.08 = None)
+  done;
+  check_int "no transition ever" 0 (Policy.current p)
+
+let test_policy_band_holds_level () =
+  let p = three_levels () in
+  ignore (Policy.observe p 0.2);
+  ignore (Policy.observe p 0.2);
+  check_int "at degraded" 1 (Policy.current p);
+  (* Between exit (0.05) and enter (0.1): inside the hysteresis band, the
+     level holds no matter how long. *)
+  for _ = 1 to 50 do
+    check_bool "band holds" true (Policy.observe p 0.07 = None)
+  done;
+  check_int "still degraded" 1 (Policy.current p)
+
+let test_policy_direct_jump () =
+  let p = three_levels () in
+  (* Escalation goes straight to the highest warranted level... *)
+  check_bool "first storm epoch" true (Policy.observe p 0.5 = None);
+  check_bool "second commits to storm, skipping degraded" true
+    (Policy.observe p 0.5 = Some 2);
+  (* ...and recovery straight to the lowest sustainable one. *)
+  check_bool "first clean epoch" true (Policy.observe p 0.0 = None);
+  check_bool "second commits to clear, skipping degraded" true
+    (Policy.observe p 0.0 = Some 0);
+  check_int "home" 0 (Policy.current p)
+
+let test_policy_partial_deescalation () =
+  let p = three_levels () in
+  ignore (Policy.observe p 0.5);
+  ignore (Policy.observe p 0.5);
+  check_int "at storm" 2 (Policy.current p);
+  (* 0.1 exits storm (< 0.15) but not degraded (>= 0.05): one rung down. *)
+  ignore (Policy.observe p 0.1);
+  check_bool "commits one rung down" true (Policy.observe p 0.1 = Some 1);
+  check_int "at degraded" 1 (Policy.current p)
+
+let test_policy_validation () =
+  Alcotest.check_raises "dwell zero"
+    (Invalid_argument "Policy.create: dwell must be >= 1") (fun () ->
+      ignore (Policy.create ~dwell:0 [ Policy.level "clear" ]));
+  Alcotest.check_raises "no levels"
+    (Invalid_argument "Policy.create: no levels") (fun () ->
+      ignore (Policy.create []));
+  Alcotest.check_raises "exit above enter"
+    (Invalid_argument "Policy.create: level bad needs 0 <= exit < enter <= 1")
+    (fun () ->
+      ignore
+        (Policy.create
+           [ Policy.level "clear"; Policy.level ~enter:0.1 ~exit:0.2 "bad" ]));
+  Alcotest.check_raises "thresholds must increase"
+    (Invalid_argument "Policy.create: thresholds must increase along the ladder")
+    (fun () ->
+      ignore
+        (Policy.create
+           [
+             Policy.level "clear";
+             Policy.level ~enter:0.3 ~exit:0.1 "worse";
+             Policy.level ~enter:0.2 ~exit:0.15 "worst";
+           ]))
+
+(* ------------------------------------------------------------------ *)
+(* Ladder                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Three items on a bandwidth-2 channel, sized so each extra block of
+   boost pushes the plan one rung further down the ladder. *)
+let item_a = Item.make ~id:0 ~name:"a" ~blocks:2 ~avi:4 ~value:100 ()
+let item_b = Item.make ~id:1 ~name:"b" ~blocks:4 ~avi:16 ~value:10 ()
+let item_c = Item.make ~id:2 ~name:"c" ~blocks:6 ~avi:48 ~value:1 ()
+let abc = [ item_a; item_b; item_c ]
+
+let base_mode =
+  Mode.make ~name:"base" ~default:Aida.Non_real_time
+    [ ("a", Aida.Critical 2); ("b", Aida.Standard); ("c", Aida.Non_real_time) ]
+
+let austere =
+  Mode.make ~name:"austere" ~default:Aida.Non_real_time
+    [ ("a", Aida.Critical 2) ]
+
+let bw2_ladder () =
+  Ladder.create ~fallbacks:[ austere ] ~max_boost:4 ~bandwidth:2
+    ~base_mode abc
+
+let shed_names plan =
+  List.sort compare (List.map (fun i -> i.Item.name) plan.Ladder.shed)
+
+let test_ladder_walks_every_rung () =
+  let l = bw2_ladder () in
+  let plan b = Ladder.plan l ~boost:b in
+  (match (plan 0).Ladder.rung with
+  | Ladder.Baseline -> ()
+  | r -> Alcotest.failf "boost 0: expected baseline, got %a" Ladder.pp_rung r);
+  (match (plan 1).Ladder.rung with
+  | Ladder.Boost 1 -> ()
+  | r -> Alcotest.failf "boost 1: expected boost+1, got %a" Ladder.pp_rung r);
+  (match (plan 2).Ladder.rung with
+  | Ladder.Mode_switch "austere+2" -> ()
+  | r -> Alcotest.failf "boost 2: expected mode switch, got %a" Ladder.pp_rung r);
+  Alcotest.(check (list string)) "boost 3 sheds the cheapest item" [ "c" ]
+    (shed_names (plan 3));
+  Alcotest.(check (list string)) "boost 4 sheds two" [ "b"; "c" ]
+    (shed_names (plan 4))
+
+let test_ladder_keeps_critical_item () =
+  let l = bw2_ladder () in
+  for b = 0 to 4 do
+    let p = Ladder.plan l ~boost:b in
+    check_bool
+      (Printf.sprintf "critical item survives boost %d" b)
+      true
+      (List.exists (fun i -> i.Item.name = "a") p.Ladder.admitted)
+  done
+
+let test_ladder_fixed_capacities () =
+  let l = bw2_ladder () in
+  (* blocks + max tolerance over all modes + max_boost. *)
+  check_int "capacity a" 8 (Ladder.capacity_for l item_a);
+  check_int "capacity b" 9 (Ladder.capacity_for l item_b);
+  check_int "capacity c" 10 (Ladder.capacity_for l item_c);
+  (* Every rung's program disperses to the provisioned capacity, so block
+     indices collected before a swap stay valid after it. *)
+  for b = 0 to 4 do
+    let p = Ladder.plan l ~boost:b in
+    List.iter
+      (fun (i : Item.t) ->
+        check_int
+          (Printf.sprintf "boost %d keeps item %s at fixed capacity" b
+             i.Item.name)
+          (Ladder.capacity_for l i)
+          (Program.capacity p.Ladder.program i.Item.id))
+      p.Ladder.admitted
+  done
+
+let test_ladder_recovery_is_bit_identical () =
+  let l = bw2_ladder () in
+  let before = Swap.digest (Ladder.plan l ~boost:0).Ladder.program in
+  ignore (Ladder.plan l ~boost:4);
+  let after = Swap.digest (Ladder.plan l ~boost:0).Ladder.program in
+  Alcotest.(check string) "re-planning at boost 0 reproduces the program"
+    before after
+
+let test_ladder_clamps_boost () =
+  let l = bw2_ladder () in
+  check_int "beyond max_boost clamps" 4 (Ladder.plan l ~boost:99).Ladder.boost;
+  check_int "negative boost clamps to baseline" 0
+    (Ladder.plan l ~boost:(-3)).Ladder.boost
+
+let test_ladder_validation () =
+  Alcotest.check_raises "no items"
+    (Invalid_argument "Ladder.create: no items") (fun () ->
+      ignore (Ladder.create ~bandwidth:2 ~base_mode []));
+  Alcotest.check_raises "unschedulable baseline"
+    (Invalid_argument "Ladder.create: base mode not schedulable at this bandwidth")
+    (fun () -> ignore (Ladder.create ~bandwidth:1 ~base_mode abc));
+  let huge = Item.make ~id:9 ~name:"huge" ~blocks:252 ~avi:300 ~value:1 () in
+  Alcotest.check_raises "capacity beyond IDA limit"
+    (Invalid_argument
+       "Ladder.create: item huge needs capacity 256 > 255 (IDA limit)")
+    (fun () ->
+      ignore
+        (Ladder.create ~bandwidth:2
+           ~base_mode:(Mode.make ~name:"m" ~default:Aida.Non_real_time [])
+           [ huge ]))
+
+(* ------------------------------------------------------------------ *)
+(* Swap                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let layout_1 =
+  [ (0, 0); (1, 0); (0, 1); (0, 2); (1, 1); (0, 3); (1, 2); (0, 4) ]
+
+let layout_2 =
+  [ (0, 0); (0, 1); (1, 0); (0, 2); (0, 3); (1, 1); (0, 4); (1, 2) ]
+
+let caps = [ (0, 10); (1, 6) ]
+let prog_1 () = Program.of_layout layout_1 ~capacities:caps
+let prog_2 () = Program.of_layout layout_2 ~capacities:caps
+
+let test_swap_waits_for_boundary () =
+  let p1 = prog_1 () and p2 = prog_2 () in
+  let s = Swap.create p1 in
+  Swap.stage s ~cause:"test" p2;
+  check_bool "pending" true (Swap.pending s);
+  for slot = 1 to Program.period p1 - 1 do
+    check_bool "no swap off the boundary" true (Swap.tick s slot = None)
+  done;
+  (match Swap.tick s (Program.period p1) with
+  | Some e ->
+      check_int "installed at the boundary" (Program.period p1) e.Swap.slot;
+      check_int "phase 0 by invariant" 0 e.Swap.phase;
+      Alcotest.(check string) "old digest" (Swap.digest p1) e.Swap.old_digest;
+      Alcotest.(check string) "new digest" (Swap.digest p2) e.Swap.new_digest
+  | None -> Alcotest.fail "boundary tick must install");
+  check_bool "nothing pending after install" false (Swap.pending s);
+  check_int "origin moved" (Program.period p1) (Swap.origin s);
+  check_int "one log entry" 1 (List.length (Swap.log s))
+
+let test_swap_block_at_phase_shift () =
+  let p1 = prog_1 () and p2 = prog_2 () in
+  let s = Swap.create p1 in
+  Swap.stage s ~cause:"test" p2;
+  let boundary = Program.period p1 in
+  ignore (Swap.tick s boundary);
+  for k = 0 to (2 * Program.period p2) - 1 do
+    check_bool "live program phase-shifted to its installation slot" true
+      (Swap.block_at s (boundary + k) = Program.block_at p2 k)
+  done
+
+let test_swap_stage_live_cancels () =
+  let p1 = prog_1 () and p2 = prog_2 () in
+  let s = Swap.create p1 in
+  Swap.stage s ~cause:"change" p2;
+  check_bool "pending" true (Swap.pending s);
+  Swap.stage s ~cause:"changed my mind" p1;
+  check_bool "staging the live program cancels" false (Swap.pending s);
+  check_bool "boundary tick is a no-op" true
+    (Swap.tick s (Program.period p1) = None);
+  check_int "nothing logged" 0 (List.length (Swap.log s))
+
+let test_swap_restage_replaces () =
+  let p1 = prog_1 () and p2 = prog_2 () in
+  let p3 = Program.of_layout layout_1 ~capacities:[ (0, 12); (1, 6) ] in
+  let s = Swap.create p1 in
+  Swap.stage s ~cause:"first thought" p2;
+  Swap.stage s ~cause:"second thought" p3;
+  (match Swap.tick s (Program.period p1) with
+  | Some e ->
+      Alcotest.(check string) "the later staging wins" (Swap.digest p3)
+        e.Swap.new_digest;
+      Alcotest.(check string) "with its cause" "second thought" e.Swap.cause
+  | None -> Alcotest.fail "boundary tick must install");
+  check_int "one swap, not two" 1 (List.length (Swap.log s))
+
+let test_swap_data_cycle_boundary () =
+  let p1 = prog_1 () and p2 = prog_2 () in
+  check_bool "toy program block-cycles over several periods" true
+    (Program.data_cycle p1 > Program.period p1);
+  let s = Swap.create ~boundary:Swap.Data_cycle p1 in
+  Swap.stage s ~cause:"aligned" p2;
+  check_bool "period boundary is not enough" true
+    (Swap.tick s (Program.period p1) = None);
+  check_bool "data-cycle boundary installs" true
+    (Swap.tick s (Program.data_cycle p1) <> None)
+
+let test_swap_log_chronological () =
+  let p1 = prog_1 () and p2 = prog_2 () in
+  let s = Swap.create p1 in
+  Swap.stage s ~cause:"out" p2;
+  ignore (Swap.tick s (Program.period p1));
+  Swap.stage s ~cause:"back" p1;
+  let back_at = Program.period p1 + Program.period p2 in
+  ignore (Swap.tick s back_at);
+  match Swap.log s with
+  | [ e1; e2 ] ->
+      check_bool "chronological order" true (e1.Swap.slot < e2.Swap.slot);
+      check_int "every entry on a boundary" 0 e1.Swap.phase;
+      check_int "every entry on a boundary (2)" 0 e2.Swap.phase;
+      Alcotest.(check string) "round trip ends on the original program"
+        (Swap.digest p1) e2.Swap.new_digest
+  | l -> Alcotest.failf "expected 2 entries, got %d" (List.length l)
+
+(* ------------------------------------------------------------------ *)
+(* Controller                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Drive the closed loop by hand: one tick / report / decide per slot,
+   with the per-slot loss verdict scripted by [lost_at]. *)
+let drive c ~from ~until ~lost_at =
+  for slot = from to until - 1 do
+    ignore (Controller.tick c slot);
+    Controller.report c ~lost:(lost_at slot);
+    Controller.decide c ~slot
+  done
+
+let crisis_controller () =
+  let ladder = bw2_ladder () in
+  let estimator = Estimator.create ~alpha:0.6 ~window:16 () in
+  let policy =
+    Policy.create ~dwell:2
+      [ Policy.level "clear"; Policy.level ~enter:0.25 ~exit:0.1 ~boost:4 "crisis" ]
+  in
+  (ladder, Controller.create ~estimator ~policy ladder)
+
+let test_controller_descends_to_shedding () =
+  let _, c = crisis_controller () in
+  drive c ~from:0 ~until:512 ~lost_at:(fun _ -> true);
+  (match (Controller.plan c).Ladder.rung with
+  | Ladder.Shed shed ->
+      Alcotest.(check (list string)) "sheds down to the critical item"
+        [ "b"; "c" ]
+        (List.sort compare (List.map (fun i -> i.Item.name) shed))
+  | r -> Alcotest.failf "expected shedding, got %a" Ladder.pp_rung r);
+  check_int "one sustained change, one swap" 1
+    (List.length (Controller.swap_log c));
+  List.iter
+    (fun e -> check_int "swap on a cycle boundary" 0 e.Swap.phase)
+    (Controller.swap_log c)
+
+let test_controller_recovers_to_original_program () =
+  let ladder, c = crisis_controller () in
+  let baseline = Swap.digest (Ladder.plan ladder ~boost:0).Ladder.program in
+  drive c ~from:0 ~until:512 ~lost_at:(fun _ -> true);
+  drive c ~from:512 ~until:2048 ~lost_at:(fun _ -> false);
+  check_int "descent plus recovery: two swaps" 2
+    (List.length (Controller.swap_log c));
+  Alcotest.(check string) "recovery reinstalls the original program"
+    baseline
+    (Swap.digest (Swap.program (Controller.swap c)));
+  (match (Controller.plan c).Ladder.rung with
+  | Ladder.Baseline -> ()
+  | r -> Alcotest.failf "expected baseline after recovery, got %a"
+           Ladder.pp_rung r);
+  List.iter
+    (fun e -> check_int "every swap on a cycle boundary" 0 e.Swap.phase)
+    (Controller.swap_log c)
+
+let test_controller_oscillation_never_swaps () =
+  (* Raw windows alternating just above enter and just below it (but above
+     exit): with alpha 1 the estimate tracks the raw rate, the policy
+     candidate flips every window, and the dwell never fills. *)
+  let ladder = bw2_ladder () in
+  let estimator = Estimator.create ~alpha:1.0 ~window:20 () in
+  let policy =
+    Policy.create ~dwell:2
+      [ Policy.level "clear"; Policy.level ~enter:0.5 ~exit:0.25 ~boost:1 "bad" ]
+  in
+  let c = Controller.create ~estimator ~policy ladder in
+  let lost_at slot =
+    let window = slot / 20 and pos = slot mod 20 in
+    if window mod 2 = 0 then pos < 11 (* 0.55: above enter *)
+    else pos < 9 (* 0.45: inside the band *)
+  in
+  drive c ~from:0 ~until:800 ~lost_at;
+  check_int "no swap ever" 0 (List.length (Controller.swap_log c));
+  Alcotest.(check string) "level never left clear" "clear"
+    (Controller.level c).Policy.name
+
+let test_controller_validation () =
+  let ladder = bw2_ladder () in
+  Alcotest.check_raises "decision_windows zero"
+    (Invalid_argument "Controller.create: decision_windows must be >= 1")
+    (fun () ->
+      ignore
+        (Controller.create ~decision_windows:0
+           ~estimator:(Estimator.create ())
+           ~policy:(Policy.create [ Policy.level "clear" ])
+           ladder))
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_driver_losses_deterministic () =
+  let phases () =
+    [
+      { Driver.length = 40; fault = Fault.bernoulli ~p:0.3 ~seed:5 };
+      {
+        Driver.length = 40;
+        fault =
+          Fault.burst ~p_good_to_bad:0.2 ~p_bad_to_good:0.3 ~loss_good:0.05
+            ~loss_bad:0.6 ~seed:9;
+      };
+    ]
+  in
+  let a = Driver.losses (phases ()) in
+  let b = Driver.losses (phases ()) in
+  check_int "script length" 80 (Array.length a);
+  check_bool "same script, same verdicts" true (a = b);
+  (* Each phase is anchored at its absolute start slot, so the script is
+     insensitive to what ran before it. *)
+  let solo = Fault.bernoulli ~p:0.3 ~seed:5 in
+  Fault.reset_to solo 0;
+  for s = 0 to 39 do
+    check_bool "first phase matches the raw process" true
+      (a.(s) = Fault.advance solo)
+  done
+
+let test_driver_window_miss_ratio () =
+  let r =
+    {
+      Driver.requests = 10;
+      completed = 6;
+      missed = 4;
+      timeline =
+        [
+          { Driver.t0 = 0; t1 = 500; issued = 4; missed = 1 };
+          { Driver.t0 = 500; t1 = 1000; issued = 6; missed = 3 };
+        ];
+      swaps = [];
+    }
+  in
+  check_float "global ratio" 0.4 (Driver.miss_ratio r);
+  check_float "first bucket" 0.25 (Driver.window_miss_ratio r ~t0:0 ~t1:500);
+  check_float "second bucket" 0.5 (Driver.window_miss_ratio r ~t0:500 ~t1:1000);
+  check_float "whole span" 0.4 (Driver.window_miss_ratio r ~t0:0 ~t1:1000);
+  check_float "empty window" 0.0 (Driver.window_miss_ratio r ~t0:2000 ~t1:3000)
+
+let test_driver_static_vs_adaptive () =
+  let ladder = bw2_ladder () in
+  let baseline = Ladder.plan ladder ~boost:0 in
+  let program = baseline.Ladder.program in
+  let losses =
+    Driver.losses
+      [
+        { Driver.length = 1024; fault = Fault.none () };
+        { Driver.length = 2048; fault = Fault.bernoulli ~p:0.5 ~seed:7 };
+        { Driver.length = 1024; fault = Fault.none () };
+      ]
+  in
+  let needed_of f =
+    let item = List.find (fun (i : Item.t) -> i.Item.id = f) abc in
+    item.Item.blocks
+  in
+  let deadline_of f =
+    let item = List.find (fun (i : Item.t) -> i.Item.id = f) abc in
+    2 * item.Item.avi
+  in
+  let trace =
+    Workload.generate ~program ~rate:0.05 ~theta:0.9 ~needed_of ~deadline_of
+      ~horizon:4096 ~seed:21
+  in
+  let static = Driver.run ~program ~losses trace in
+  let controller =
+    let estimator = Estimator.create ~alpha:0.6 ~window:32 () in
+    let policy =
+      Policy.create ~dwell:2
+        [
+          Policy.level "clear";
+          Policy.level ~enter:0.2 ~exit:0.08 ~boost:1 "degraded";
+        ]
+    in
+    Controller.create ~estimator ~policy ladder
+  in
+  let adaptive = Driver.run ~controller ~program ~losses trace in
+  check_int "identical trace measured" static.Driver.requests
+    adaptive.Driver.requests;
+  check_bool "the bad phase hurts the static server" true
+    (static.Driver.missed > 0);
+  check_bool "adaptation does not lose requests" true
+    (adaptive.Driver.missed <= static.Driver.missed);
+  check_bool "the channel change triggered at least one swap" true
+    (List.length adaptive.Driver.swaps >= 1);
+  check_bool "at most escalation plus recovery" true
+    (List.length adaptive.Driver.swaps <= 2);
+  List.iter
+    (fun e -> check_int "swaps only at cycle boundaries" 0 e.Swap.phase)
+    adaptive.Driver.swaps;
+  check_int "static runs never swap" 0 (List.length static.Driver.swaps)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "adapt"
+    [
+      ( "estimator",
+        [
+          Alcotest.test_case "window math" `Quick test_estimator_window_math;
+          Alcotest.test_case "burst vs sustained" `Quick
+            test_estimator_burst_vs_sustained;
+          Alcotest.test_case "validation" `Quick test_estimator_validation;
+        ] );
+      ( "policy",
+        [
+          Alcotest.test_case "dwell commit" `Quick test_policy_dwell_commit;
+          Alcotest.test_case "lone spike forgotten" `Quick
+            test_policy_lone_spike_forgotten;
+          Alcotest.test_case "no flap in hysteresis band" `Quick
+            test_policy_no_flap_in_hysteresis_band;
+          Alcotest.test_case "band holds level" `Quick
+            test_policy_band_holds_level;
+          Alcotest.test_case "direct jump" `Quick test_policy_direct_jump;
+          Alcotest.test_case "partial de-escalation" `Quick
+            test_policy_partial_deescalation;
+          Alcotest.test_case "validation" `Quick test_policy_validation;
+        ] );
+      ( "ladder",
+        [
+          Alcotest.test_case "walks every rung" `Quick
+            test_ladder_walks_every_rung;
+          Alcotest.test_case "keeps critical item" `Quick
+            test_ladder_keeps_critical_item;
+          Alcotest.test_case "fixed capacities" `Quick
+            test_ladder_fixed_capacities;
+          Alcotest.test_case "recovery bit-identical" `Quick
+            test_ladder_recovery_is_bit_identical;
+          Alcotest.test_case "clamps boost" `Quick test_ladder_clamps_boost;
+          Alcotest.test_case "validation" `Quick test_ladder_validation;
+        ] );
+      ( "swap",
+        [
+          Alcotest.test_case "waits for boundary" `Quick
+            test_swap_waits_for_boundary;
+          Alcotest.test_case "block_at phase shift" `Quick
+            test_swap_block_at_phase_shift;
+          Alcotest.test_case "stage live cancels" `Quick
+            test_swap_stage_live_cancels;
+          Alcotest.test_case "restage replaces" `Quick
+            test_swap_restage_replaces;
+          Alcotest.test_case "data-cycle boundary" `Quick
+            test_swap_data_cycle_boundary;
+          Alcotest.test_case "log chronological" `Quick
+            test_swap_log_chronological;
+        ] );
+      ( "controller",
+        [
+          Alcotest.test_case "descends to shedding" `Quick
+            test_controller_descends_to_shedding;
+          Alcotest.test_case "recovers to original program" `Quick
+            test_controller_recovers_to_original_program;
+          Alcotest.test_case "oscillation never swaps" `Quick
+            test_controller_oscillation_never_swaps;
+          Alcotest.test_case "validation" `Quick test_controller_validation;
+        ] );
+      ( "driver",
+        [
+          Alcotest.test_case "losses deterministic" `Quick
+            test_driver_losses_deterministic;
+          Alcotest.test_case "window miss ratio" `Quick
+            test_driver_window_miss_ratio;
+          Alcotest.test_case "static vs adaptive" `Quick
+            test_driver_static_vs_adaptive;
+        ] );
+    ]

@@ -117,6 +117,36 @@ let test_admit_respects_schedulability () =
             (Bandwidth.schedulable ~bandwidth (Mode.file_specs combat admitted)))
     [ 1; 2; 3; 4; 5 ]
 
+let test_admit_bandwidth_one () =
+  (* A single-slot channel: the aircraft's combat demand (2+3)/4 > 1 can
+     never fit, but the cheap items still go through — degradation, not
+     collapse. *)
+  let v = Admission.admit ~bandwidth:1 ~mode:combat awacs_items in
+  check_bool "something admitted" true (v.Admission.admitted <> []);
+  check_bool "aircraft rejected at B=1" true
+    (List.exists (fun i -> i.Item.name = "aircraft") v.Admission.rejected);
+  check_bool "a program exists for the survivors" true
+    (v.Admission.program <> None);
+  check_bool "not everything fits" false (Admission.all_admitted v)
+
+let test_admit_empty_candidates () =
+  let v = Admission.admit ~bandwidth:4 ~mode:combat [] in
+  check_int "nothing admitted" 0 (List.length v.Admission.admitted);
+  check_int "nothing rejected" 0 (List.length v.Admission.rejected);
+  check_bool "no program for an empty set" true (v.Admission.program = None);
+  check_bool "vacuously all admitted" true (Admission.all_admitted v)
+
+let test_admit_duplicate_ids () =
+  let clone = Item.make ~id:0 ~name:"aircraft-clone" ~blocks:1 ~avi:8 () in
+  Alcotest.check_raises "duplicate ids rejected"
+    (Invalid_argument "Admission.admit: duplicate item ids") (fun () ->
+      ignore (Admission.admit ~bandwidth:4 ~mode:combat [ aircraft; clone ]))
+
+let test_admit_bandwidth_validation () =
+  Alcotest.check_raises "bandwidth below one"
+    (Invalid_argument "Admission.admit: bandwidth must be >= 1") (fun () ->
+      ignore (Admission.admit ~bandwidth:0 ~mode:combat awacs_items))
+
 (* ------------------------------------------------------------------ *)
 (* Database                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -194,6 +224,11 @@ let () =
           Alcotest.test_case "rich channel admits all" `Quick test_admit_everything_when_rich;
           Alcotest.test_case "prefers value density" `Quick test_admit_prefers_value_density;
           Alcotest.test_case "respects schedulability" `Quick test_admit_respects_schedulability;
+          Alcotest.test_case "bandwidth one" `Quick test_admit_bandwidth_one;
+          Alcotest.test_case "empty candidates" `Quick test_admit_empty_candidates;
+          Alcotest.test_case "duplicate ids" `Quick test_admit_duplicate_ids;
+          Alcotest.test_case "bandwidth validation" `Quick
+            test_admit_bandwidth_validation;
         ] );
       ( "database",
         [

@@ -72,6 +72,32 @@ let test_fault_validation () =
     (Invalid_argument "Fault.bernoulli: p must be in [0, 1]") (fun () ->
       ignore (Fault.bernoulli ~p:1.5 ~seed:0))
 
+let test_fault_reset_to_determinism () =
+  (* Regression: [reset_to] must re-anchor the process deterministically —
+     the same slot always replays the identical loss sequence, whatever
+     state (RNG stream, burst good/bad) the process wandered into before
+     the reset. The adaptive driver's channel scripts rely on this. *)
+  let record f n = List.init n (fun _ -> Fault.advance f) in
+  let check_replay name mk =
+    let f = mk () in
+    ignore (record f 137);
+    (* wander into an arbitrary interior state *)
+    Fault.reset_to f 137;
+    let a = record f 200 in
+    Fault.reset_to f 137;
+    let b = record f 200 in
+    check_bool (name ^ ": same process replays from the same slot") true
+      (a = b);
+    let g = mk () in
+    Fault.reset_to g 137;
+    let c = record g 200 in
+    check_bool (name ^ ": fresh process agrees") true (a = c)
+  in
+  check_replay "bernoulli" (fun () -> Fault.bernoulli ~p:0.3 ~seed:11);
+  check_replay "burst" (fun () ->
+      Fault.burst ~p_good_to_bad:0.2 ~p_bad_to_good:0.3 ~loss_good:0.05
+        ~loss_bad:0.6 ~seed:11)
+
 (* ------------------------------------------------------------------ *)
 (* Client                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -147,6 +173,30 @@ let test_client_validation () =
       ignore
         (Client.retrieve ~program:(toy_flat ()) ~file:9 ~needed:1 ~start:0
            ~fault:(Fault.none ()) ()))
+
+let test_client_report_hook () =
+  let p = toy_ida () in
+  let reports = ref [] in
+  let report ~slot ~file ~lost = reports := (slot, file, lost) :: !reports in
+  let o =
+    Client.retrieve ~report ~program:p ~file:0 ~needed:5 ~start:0
+      ~fault:(Fault.deterministic (fun t -> t = 0)) ()
+  in
+  let reports = List.rev !reports in
+  check_bool "retrieval completed" true (o.Client.completed_at <> None);
+  (* The toy layout is busy every slot; slot 0's A block is lost, so the
+     client watches one extra slot past the error-free 8. *)
+  check_int "one report per busy slot watched" 9 (List.length reports);
+  List.iteri
+    (fun i (slot, file, lost) ->
+      check_int "reports are in slot order" i slot;
+      check_bool "loss verdict reported" (slot = 0) lost;
+      match Program.block_at p slot with
+      | Some (f, _) -> check_int "reported file matches the air" f file
+      | None -> Alcotest.fail "report on an idle slot")
+    reports;
+  check_bool "other files' slots reported too" true
+    (List.exists (fun (_, f, _) -> f = 1) reports)
 
 (* ------------------------------------------------------------------ *)
 (* Adversary                                                           *)
@@ -290,6 +340,31 @@ let test_transport_validation () =
       ignore
         (Transport.create ~program:(toy_ida ())
            [ (0, 11, Bytes.of_string "x"); (1, 3, Bytes.of_string "y") ]))
+
+let test_transport_report_hook () =
+  let run () =
+    let t = toy_transport () in
+    let count = ref 0 and losses = ref 0 in
+    let report ~slot:_ ~file:_ ~lost =
+      incr count;
+      if lost then incr losses
+    in
+    match
+      Transport.retrieve t ~report ~file:0 ~start:0
+        ~fault:(Fault.bernoulli ~p:0.3 ~seed:13) ()
+    with
+    | Some bytes ->
+        Alcotest.(check string) "payload still bit-exact"
+          "intelligent vehicle highway system db" (Bytes.to_string bytes);
+        (!count, !losses)
+    | None -> Alcotest.fail "retrieval must complete"
+  in
+  let count, losses = run () in
+  check_bool "at least m busy slots reported" true (count >= 5);
+  check_bool "the lossy channel shows up in the reports" true (losses > 0);
+  let count', losses' = run () in
+  check_int "report stream deterministic (count)" count count';
+  check_int "report stream deterministic (losses)" losses losses'
 
 (* ------------------------------------------------------------------ *)
 (* Experiment                                                          *)
@@ -534,6 +609,45 @@ let test_engine_loss_monotone () =
   in
   check_bool "misses grow with loss" true (miss 0.05 <= miss 0.4 +. 1e-9)
 
+let test_engine_file_miss_ratio () =
+  let p = toy_ida () in
+  let r =
+    Engine.run ~program:p
+      ~fault:(fun ~seed -> Fault.bernoulli ~p:0.35 ~seed)
+      ~seed:9 (trace_for p)
+  in
+  List.iter
+    (fun (f : Engine.file_stats) ->
+      let ratio = Engine.file_miss_ratio f in
+      Alcotest.(check (float 1e-9)) "ratio is missed / requests"
+        (if f.Engine.requests = 0 then 0.0
+         else float_of_int f.Engine.missed /. float_of_int f.Engine.requests)
+        ratio;
+      check_bool "ratio in [0, 1]" true (0.0 <= ratio && ratio <= 1.0))
+    r.Engine.per_file
+
+let test_engine_pp_result_lists_per_file_ratios () =
+  let p = toy_ida () in
+  let r =
+    Engine.run ~program:p
+      ~fault:(fun ~seed -> Fault.bernoulli ~p:0.35 ~seed)
+      ~seed:9 (trace_for p)
+  in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec scan i = i + nn <= nh && (String.sub hay i nn = needle || scan (i + 1)) in
+    scan 0
+  in
+  let rendered = Format.asprintf "%a" Engine.pp_result r in
+  List.iter
+    (fun (f : Engine.file_stats) ->
+      let line = Format.asprintf "%a" Engine.pp_file_stats f in
+      check_bool "file line carries the percentage" true
+        (String.contains line '%');
+      check_bool "summary embeds every per-file line" true
+        (contains rendered line))
+    r.Engine.per_file
+
 let () =
   Alcotest.run "sim"
     [
@@ -545,6 +659,8 @@ let () =
           Alcotest.test_case "bernoulli rate" `Quick test_fault_bernoulli_rate;
           Alcotest.test_case "burst stationary rate" `Quick test_fault_burst_stationary_rate;
           Alcotest.test_case "validation" `Quick test_fault_validation;
+          Alcotest.test_case "reset_to determinism" `Quick
+            test_fault_reset_to_determinism;
         ] );
       ( "client",
         [
@@ -554,6 +670,7 @@ let () =
           Alcotest.test_case "flat worst single loss" `Quick test_client_flat_worst_loss;
           Alcotest.test_case "max_slots cap" `Quick test_client_max_slots;
           Alcotest.test_case "validation" `Quick test_client_validation;
+          Alcotest.test_case "report hook" `Quick test_client_report_hook;
         ] );
       ( "adversary",
         [
@@ -572,6 +689,7 @@ let () =
           Alcotest.test_case "roundtrip error-free" `Quick test_transport_roundtrip_error_free;
           Alcotest.test_case "roundtrip under loss" `Quick test_transport_roundtrip_under_loss;
           Alcotest.test_case "validation" `Quick test_transport_validation;
+          Alcotest.test_case "report hook" `Quick test_transport_report_hook;
         ] );
       ( "transaction",
         [
@@ -596,6 +714,10 @@ let () =
           Alcotest.test_case "error-free meets all" `Quick test_engine_error_free_all_meet;
           Alcotest.test_case "per-file consistency" `Quick test_engine_per_file_consistency;
           Alcotest.test_case "loss monotone" `Quick test_engine_loss_monotone;
+          Alcotest.test_case "per-file miss ratio" `Quick
+            test_engine_file_miss_ratio;
+          Alcotest.test_case "pp_result lists per-file ratios" `Quick
+            test_engine_pp_result_lists_per_file_ratios;
         ] );
       ( "experiment",
         [
