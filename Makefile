@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-tables bench-micro examples doc clean
+.PHONY: all build test bench bench-tables bench-micro examples audit doc clean
 
 all: build
 
@@ -19,6 +19,12 @@ bench-tables:
 
 bench-micro:
 	dune exec bench/main.exe -- micro
+
+audit:
+	@for design in examples/designs/*.design; do \
+	  echo "=== $$design"; \
+	  dune exec -- pindisk audit $$design || exit 1; \
+	done
 
 examples:
 	dune exec examples/quickstart.exe

@@ -377,6 +377,44 @@ let design_cmd =
        ~doc:"From physical requirements to a provisioned broadcast disk")
     Term.(ret (const (fun () -> run) $ setup_logs $ reqs $ byte_rate))
 
+(* ---------------- audit ---------------- *)
+
+let audit_cmd =
+  let module Check = Pindisk_check in
+  let run path minify =
+    match Check.Spec.load path with
+    | Error e -> fail "%s: %s" path e
+    | Ok spec -> (
+        match Check.Audit.run spec with
+        | Error e -> fail "%s: %s" path e
+        | Ok report ->
+            print_string
+              (Check.Json.to_string ~minify (Check.Audit.to_json report));
+            if Check.Audit.ok report then `Ok ()
+            else
+              `Error
+                ( false,
+                  Printf.sprintf "audit failed: %s"
+                    (String.concat "; " (Check.Audit.problems report)) ))
+  in
+  let path =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"DESIGN" ~doc:"A design spec file (pindisk-design v1).")
+  in
+  let minify =
+    Arg.(value & flag & info [ "minify" ] ~doc:"Single-line JSON output.")
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:
+         "Statically audit a design: re-verify every fault level, validate \
+          the algebra's derivation traces with the independent kernel, check \
+          IDA dispersal matrices for the MDS property, and classify the \
+          exact density")
+    Term.(ret (const (fun () -> run) $ setup_logs $ path $ minify))
+
 (* ---------------- serve / receive ---------------- *)
 
 (* A broadcast stream is a line protocol, one line per slot:
@@ -713,6 +751,7 @@ let () =
             export_cmd;
             inspect_cmd;
             design_cmd;
+            audit_cmd;
             serve_cmd;
             receive_cmd;
           ]))

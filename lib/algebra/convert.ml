@@ -17,65 +17,180 @@ let conds (bc : Bc.t) =
 
 let pc (a, b) = Task.make ~id:0 ~a ~b
 
-let tr1 (bc : Bc.t) =
-  let w =
-    Intmath.min_list (List.map (fun (c, e) -> e / c) (conds bc))
-  in
-  [ { a = 1; b = w; file = bc.Bc.file } ]
+let trace_of (bc : Bc.t) transform nice steps =
+  Trace.make ~file:bc.Bc.file ~m:bc.Bc.m ~d:bc.Bc.d ~transform
+    ~nice:(List.map (fun e -> { Trace.a = e.a; b = e.b }) nice)
+    ~steps
 
-let tr2 (bc : Bc.t) =
+(* Witness scale for an implication the producer has already established. *)
+let scale_exn got want =
+  match Rules.implies_scale got want with
+  | Some n -> n
+  | None -> assert false
+
+(* One Implies step per fault level, all from the single emitted entry —
+   the shape TR1, the single-condition search and the simple-model
+   reduction share. *)
+let fan_out_steps got cs =
+  List.map
+    (fun (c, e) ->
+      Trace.Implies
+        {
+          premise = Trace.Emitted 0;
+          scale = scale_exn got (pc (c, e));
+          target = { Trace.a = c; b = e };
+        })
+    cs
+
+let tr1_certified (bc : Bc.t) =
+  let cs = conds bc in
+  let w = Intmath.min_list (List.map (fun (c, e) -> e / c) cs) in
+  let nice = [ { a = 1; b = w; file = bc.Bc.file } ] in
+  (nice, trace_of bc "TR1" nice (fan_out_steps (pc (1, w)) cs))
+
+let tr1 bc = fst (tr1_certified bc)
+
+let tr2_certified (bc : Bc.t) =
   let file = bc.Bc.file in
   match conds bc with
   | [] -> assert false (* Bc invariant: d is non-empty *)
   | base_cond :: rest ->
       let base = pc base_cond in
       let reduced = Rules.r1_reduce base in
-      (* Walk the fault levels; [prev] is the already-guaranteed condition
-         (m+j-1, d^(j-1)) that rule R4 chains on. *)
-      let rec go prev acc = function
-        | [] -> List.rev acc
-        | cond :: rest ->
-            let target = pc cond in
-            if Rules.implies prev target || Rules.implies reduced target then
-              go target acc rest
-            else begin
-              let options =
-                List.filter_map
-                  (fun o -> o)
-                  [
-                    (* R4 on the accumulated guarantee: the (1, d^(j)) alias
-                       of the literal TR2. *)
-                    Rules.r4_alias ~base:prev ~target;
-                    (* R5 on the R1-reduced base (Example 4's trick). *)
-                    Rules.r5_alias ~base:reduced ~target;
-                    (* R4 on what the base alone forces into this window. *)
-                    (let g =
-                       Rules.max_guaranteed reduced ~window:target.Task.b
-                     in
-                     if g >= target.Task.a then None
-                     else Some (target.Task.a - g, target.Task.b));
-                  ]
-              in
-              let cheapest =
-                match options with
-                | [] -> assert false (* the third option always applies here *)
-                | o :: os ->
-                    List.fold_left
-                      (fun (ba, bb) (a, b) ->
-                        if Q.( < ) (Q.make a b) (Q.make ba bb) then (a, b)
-                        else (ba, bb))
-                      o os
-              in
-              let a, b = cheapest in
-              go target ({ a; b; file } :: acc) rest
-            end
+      (* Step 0 re-derives the original base condition (m, d^(0)) from the
+         emitted R1-reduced entry; the gcd is the scaling witness. *)
+      let steps = ref [] and nsteps = ref 0 in
+      let push_step s =
+        steps := s :: !steps;
+        incr nsteps;
+        !nsteps - 1
       in
-      let aliases = go base [] rest in
+      let aliases = ref [] and nentries = ref 1 in
+      let emit e =
+        aliases := e :: !aliases;
+        incr nentries;
+        !nentries - 1
+      in
+      ignore
+        (push_step
+           (Trace.Implies
+              {
+                premise = Trace.Emitted 0;
+                scale = scale_exn reduced base;
+                target = { Trace.a = base.Task.a; b = base.Task.b };
+              }));
+      (* Walk the fault levels; [prev] is the already-guaranteed condition
+         (m+j-1, d^(j-1)) that rule R4 chains on, [prev_src] the step that
+         concluded it. *)
+      let prev = ref base and prev_src = ref (Trace.Derived 0) in
+      List.iter
+        (fun cond ->
+          let target = pc cond in
+          let tcond = { Trace.a = target.Task.a; b = target.Task.b } in
+          (if Rules.implies !prev target then
+             ignore
+               (push_step
+                  (Trace.Implies
+                     {
+                       premise = !prev_src;
+                       scale = scale_exn !prev target;
+                       target = tcond;
+                     }))
+           else if Rules.implies reduced target then
+             ignore
+               (push_step
+                  (Trace.Implies
+                     {
+                       premise = Trace.Emitted 0;
+                       scale = scale_exn reduced target;
+                       target = tcond;
+                     }))
+           else begin
+             (* Candidate aliases, each paired with the step justifying it. *)
+             let options =
+               List.filter_map
+                 (fun o -> o)
+                 [
+                   (* R4 on the accumulated guarantee: the (1, d^(j)) alias
+                      of the literal TR2. *)
+                   (match Rules.r4_alias ~base:!prev ~target with
+                   | None -> None
+                   | Some alias ->
+                       let guaranteed = !prev.Task.a and base_src = !prev_src in
+                       Some
+                         ( alias,
+                           fun alias_src ->
+                             Trace.Conjoin
+                               {
+                                 base = base_src;
+                                 guaranteed;
+                                 scale = 1;
+                                 alias = alias_src;
+                                 target = tcond;
+                               } ));
+                   (* R5 on the R1-reduced base (Example 4's trick). *)
+                   (match Rules.r5_alias ~base:reduced ~target with
+                   | None -> None
+                   | Some alias ->
+                       let n = Intmath.ceil_div target.Task.a reduced.Task.a in
+                       Some
+                         ( alias,
+                           fun alias_src ->
+                             Trace.Align
+                               {
+                                 base = Trace.Emitted 0;
+                                 scale = n;
+                                 alias = alias_src;
+                                 target = tcond;
+                               } ));
+                   (* R4 on what the base alone forces into this window. *)
+                   (let g =
+                      Rules.max_guaranteed reduced ~window:target.Task.b
+                    in
+                    if g >= target.Task.a then None
+                    else
+                      Some
+                        ( (target.Task.a - g, target.Task.b),
+                          fun alias_src ->
+                            Trace.Conjoin
+                              {
+                                base = Trace.Emitted 0;
+                                guaranteed = g;
+                                scale =
+                                  (if g = 0 then 1
+                                   else Intmath.ceil_div g reduced.Task.a);
+                                alias = alias_src;
+                                target = tcond;
+                              } ));
+                 ]
+             in
+             let cheapest =
+               match options with
+               | [] -> assert false (* the third option always applies here *)
+               | o :: os ->
+                   List.fold_left
+                     (fun (((ba, bb), _) as best) (((a, b), _) as cand) ->
+                       if Q.( < ) (Q.make a b) (Q.make ba bb) then cand
+                       else best)
+                     o os
+             in
+             let (a, b), mk_step = cheapest in
+             let k = emit { a; b; file } in
+             ignore (push_step (mk_step (Trace.Emitted k)))
+           end);
+          prev := target;
+          prev_src := Trace.Derived (!nsteps - 1))
+        rest;
       (* Emit the R1-reduced base: same density, and it is the condition the
          R5 option relies on (reduced implies the original base by R1). *)
-      { a = reduced.Task.a; b = reduced.Task.b; file } :: aliases
+      let nice =
+        { a = reduced.Task.a; b = reduced.Task.b; file } :: List.rev !aliases
+      in
+      (nice, trace_of bc "TR2" nice (List.rev !steps))
 
-let best_single (bc : Bc.t) =
+let tr2 bc = fst (tr2_certified bc)
+
+let best_single_certified (bc : Bc.t) =
   let cs = conds bc in
   let file = bc.Bc.file in
   let max_b = Intmath.max_list (List.map snd cs) in
@@ -104,28 +219,43 @@ let best_single (bc : Bc.t) =
     if a <= b && Q.( < ) (Q.make a b) (Q.make !best.a !best.b) then
       best := { a; b; file }
   done;
-  [ !best ]
+  let e = !best in
+  ([ e ], trace_of bc "single" [ e ] (fan_out_steps (pc (e.a, e.b)) cs))
 
-let best bc =
+let best_single bc = fst (best_single_certified bc)
+
+let best_certified bc =
   let candidates =
-    [ ("TR1", tr1 bc); ("TR2", tr2 bc); ("single", best_single bc) ]
+    [
+      ("TR1", tr1_certified bc);
+      ("TR2", tr2_certified bc);
+      ("single", best_single_certified bc);
+    ]
   in
   Log.debug (fun m ->
       m "converting %a: %s (lower bound %a)" Bc.pp bc
         (String.concat ", "
            (List.map
-              (fun (l, n) -> Printf.sprintf "%s=%s" l (Q.to_string (density n)))
+              (fun (l, (n, _)) ->
+                Printf.sprintf "%s=%s" l (Q.to_string (density n)))
               candidates))
         Q.pp (Bc.density_lower_bound bc));
   match candidates with
   | c :: cs ->
-      List.fold_left
-        (fun (bl, bn) (l, n) ->
-          if Q.( < ) (density n) (density bn) then (l, n) else (bl, bn))
-        c cs
+      let label, (nice, trace) =
+        List.fold_left
+          (fun ((_, (bn, _)) as best) ((_, (n, _)) as cand) ->
+            if Q.( < ) (density n) (density bn) then cand else best)
+          c cs
+      in
+      (label, nice, trace)
   | [] -> assert false
 
-let compile bcs =
+let best bc =
+  let label, nice, _ = best_certified bc in
+  (label, nice)
+
+let compile_certified bcs =
   let files = List.map (fun (bc : Bc.t) -> bc.Bc.file) bcs in
   if List.length (List.sort_uniq compare files) <> List.length files then
     invalid_arg "Convert.compile: duplicate file ids";
@@ -135,13 +265,19 @@ let compile bcs =
     incr next;
     id
   in
-  List.concat_map
-    (fun bc ->
-      let _, nice = best bc in
-      List.map
-        (fun e -> (Task.make ~id:(fresh ()) ~a:e.a ~b:e.b, e.file))
-        nice)
-    bcs
+  let compiled =
+    List.map
+      (fun bc ->
+        let _, nice, trace = best_certified bc in
+        ( List.map
+            (fun e -> (Task.make ~id:(fresh ()) ~a:e.a ~b:e.b, e.file))
+            nice,
+          trace ))
+      bcs
+  in
+  (List.concat_map fst compiled, List.map snd compiled)
+
+let compile bcs = fst (compile_certified bcs)
 
 let is_nice tasks =
   let ids = List.map (fun (t, _) -> t.Task.id) tasks in

@@ -53,12 +53,31 @@ val best : Bc.t -> string * nice
 (** The lowest-density candidate among [tr1], [tr2] and [best_single],
     labelled with the name of the winning transformation. *)
 
+(** {1 Certified conversion}
+
+    Every transformation also emits a {!Trace.t}: the rule-by-rule
+    derivation (with side-condition witnesses) establishing that the nice
+    conjunct implies the original broadcast condition. The traces are
+    {e claims} — re-check them with the independent kernel in
+    [pindisk.check] rather than trusting this producer. *)
+
+val tr1_certified : Bc.t -> nice * Trace.t
+val tr2_certified : Bc.t -> nice * Trace.t
+val best_single_certified : Bc.t -> nice * Trace.t
+
+val best_certified : Bc.t -> string * nice * Trace.t
+(** {!best} plus the winning candidate's derivation trace. *)
+
 val compile : Bc.t list -> (Task.t * int) list
 (** [compile bcs] converts each broadcast condition with {!best} and
     allocates globally unique pseudo-task ids (starting above the largest
     file id). Each returned pair is the pinwheel task to schedule and the
     file whose blocks it broadcasts. Raises [Invalid_argument] on duplicate
     file ids. *)
+
+val compile_certified : Bc.t list -> (Task.t * int) list * Trace.t list
+(** {!compile} plus one derivation trace per broadcast condition, in input
+    order. *)
 
 val is_nice : (Task.t * int) list -> bool
 (** True when no two tasks share an id — what [compile] guarantees. *)

@@ -23,21 +23,29 @@ let r3 t = Task.unit ~id:t.Task.id ~b:(t.Task.b / t.Task.a)
 
 (* implies (a,b) (c,e): exists n >= ceil(c/a) with n(b-a) <= e-c. The
    left side is non-decreasing in n, so only the smallest n matters. *)
-let implies got want =
+let implies_scale got want =
   let a = got.Task.a and b = got.Task.b in
   let c = want.Task.a and e = want.Task.b in
   let n = Intmath.ceil_div c a in
-  n * (b - a) <= e - c
+  if n * (b - a) <= e - c then Some n else None
+
+let implies got want = implies_scale got want <> None
 
 let max_guaranteed got ~window =
   if window < 1 then invalid_arg "Rules.max_guaranteed: window must be >= 1";
-  (* Largest k <= window with implies got (k, window); scan downward. *)
-  let rec go k =
-    if k < 1 then 0
-    else if implies got (Task.make ~id:got.Task.id ~a:k ~b:window) then k
-    else go (k - 1)
+  (* Largest k <= window with implies got (k, window). The predicate is
+     antitone in k (ceil(k/a) is non-decreasing while window - k shrinks),
+     so binary search; k = 0 holds vacuously. *)
+  let holds k =
+    k = 0 || implies got (Task.make ~id:got.Task.id ~a:k ~b:window)
   in
-  go window
+  let rec go lo hi =
+    if lo >= hi then lo
+    else
+      let mid = lo + ((hi - lo + 1) / 2) in
+      if holds mid then go mid hi else go lo (mid - 1)
+  in
+  go 0 window
 
 let r4_alias ~base ~target =
   let a = base.Task.a and b = base.Task.b in

@@ -41,10 +41,17 @@ val implies : Task.t -> Task.t -> bool
     guarantees [want = pc(c, e)], by some composition [R1; R2; R0] — i.e.
     [∃ n >= 1: n·a >= c  ∧  n·(b - a) <= e - c]. *)
 
+val implies_scale : Task.t -> Task.t -> int option
+(** Like {!implies}, but returns the witnessing R1 scaling factor
+    [n = ⌈c/a⌉] when the implication holds — the value a derivation trace
+    ({!Trace.Implies}) records so an independent checker can confirm the
+    step without searching. *)
+
 val max_guaranteed : Task.t -> window:int -> int
 (** [max_guaranteed got ~window] is the largest count [k] such that
     [implies got (pc k window)] — how many occurrences [got] forces into
-    every window of the given length ([0] if none). *)
+    every window of the given length ([0] if none). Found by binary search:
+    the implied-count predicate is antitone in [k]. *)
 
 val r4_alias : base:Task.t -> target:Task.t -> (int * int) option
 (** R4: to meet [target = pc(c, e)] given that [base = pc(a, b)] is already

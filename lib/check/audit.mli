@@ -1,0 +1,81 @@
+(** The whole-design auditor: static verification of a broadcast-disk
+    design, end to end, without running the simulator.
+
+    [run] drives the library's own pipeline (Designer.plan or
+    Generalized.program) on a {!Spec.t} and then {e independently}
+    re-establishes, by counting and arithmetic only:
+
+    - {b vector conditions} — every fault level [pc(m + j, d⁽ʲ⁾)] of every
+      file's [bc(i, m, d⃗)] is re-counted on the broadcast period via
+      {!Pindisk_pinwheel.Verify.window_counts};
+    - {b derivation traces} — the algebra's certified rewrites (or the
+      simple-model reduction, for Designer specs) are validated by the
+      trusted {!Kernel};
+    - {b density} — the exact rational density of the scheduled system is
+      recomputed and classified against the guarantee thresholds, flagging
+      the [(7/10, 5/6]] band where the schedulers give no guarantee but
+      instances remain (conjecturally) feasible;
+    - {b dispersal} — every file's [(m, capacity)] IDA level is checked
+      for the MDS property ({!Mds}).
+
+    The outcome is a structured report with a JSON rendering — the
+    artifact [pindisk audit] prints and CI gates on. *)
+
+module Q = Pindisk_util.Q
+module Trace = Pindisk_algebra.Trace
+
+type band =
+  | Sa_guarantee  (** density <= 1/2: within the reduction schedulers' bound *)
+  | Chan_chin  (** <= 7/10: within the Chan–Chin single-unit bound *)
+  | Guarantee_gap  (** in (7/10, 5/6]: feasible instances exist, no guarantee *)
+  | Above_five_sixths  (** in (5/6, 1]: beyond the Kawamura threshold *)
+  | Above_one  (** > 1: provably infeasible *)
+
+val band_of_density : Q.t -> band
+val band_name : band -> string
+
+type level_report = {
+  level : int;  (** fault count [j] *)
+  window : int;  (** [d⁽ʲ⁾] in slots *)
+  required : int;  (** [m + j] *)
+  observed : int;  (** worst-case occurrences actually counted *)
+}
+
+type file_report = {
+  file : int;
+  name : string;
+  m : int;
+  tolerance : int;
+  capacity : int;
+  levels : level_report list;
+  mds : (Mds.outcome, string) result;
+}
+
+type t = {
+  kind : string;  (** ["designer"] or ["generalized"] *)
+  period : int;  (** broadcast period of the audited program *)
+  density : Q.t;  (** exact density of the scheduled pinwheel system *)
+  band : band;
+  files : file_report list;
+  traces : Trace.t list;
+  trace_result : (unit, int * Kernel.reject) result;
+}
+
+val run : Spec.t -> (t, string) result
+(** Build the design and audit it. [Error] when the pipeline itself cannot
+    produce a program (infeasible design) — there is nothing to audit. *)
+
+val problems : t -> string list
+(** Violations that make the audit fail: an under-served fault level, a
+    rejected trace, a failed MDS check, density above one. *)
+
+val warnings : t -> string list
+(** Non-fatal flags, currently the [(7/10, 5/6]] density band. *)
+
+val ok : t -> bool
+(** [problems] is empty. *)
+
+val to_json : t -> Json.t
+(** The full report, including the derivation traces themselves
+    (re-parseable with {!Witness.trace_of_json} and re-checkable with
+    {!Kernel.validate}). *)

@@ -1,0 +1,247 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let escape buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let to_string ?(minify = false) json =
+  let buf = Buffer.create 256 in
+  let indent n =
+    if not minify then begin
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (String.make (2 * n) ' ')
+    end
+  in
+  let rec go depth = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Str s -> escape buf s
+    | List [] -> Buffer.add_string buf "[]"
+    | List items ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_char buf ',';
+            indent (depth + 1);
+            go (depth + 1) item)
+          items;
+        indent depth;
+        Buffer.add_char buf ']'
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj fields ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char buf ',';
+            indent (depth + 1);
+            escape buf k;
+            Buffer.add_string buf (if minify then ":" else ": ");
+            go (depth + 1) v)
+          fields;
+        indent depth;
+        Buffer.add_char buf '}'
+  in
+  go 0 json;
+  if not minify then Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+exception Parse of int * string
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse (!pos, msg)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n
+      && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some d when d = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %C" c)
+  in
+  let literal word value =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      value
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let parse_int () =
+    let start = !pos in
+    if peek () = Some '-' then advance ();
+    while !pos < n && match s.[!pos] with '0' .. '9' -> true | _ -> false do
+      advance ()
+    done;
+    if !pos < n && (s.[!pos] = '.' || s.[!pos] = 'e' || s.[!pos] = 'E') then
+      fail "floating-point numbers are not supported";
+    match int_of_string_opt (String.sub s start (!pos - start)) with
+    | Some i -> Int i
+    | None -> fail "bad number"
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else
+        match s.[!pos] with
+        | '"' -> advance ()
+        | '\\' ->
+            advance ();
+            (if !pos >= n then fail "unterminated escape"
+             else
+               match s.[!pos] with
+               | '"' -> Buffer.add_char buf '"'
+               | '\\' -> Buffer.add_char buf '\\'
+               | '/' -> Buffer.add_char buf '/'
+               | 'n' -> Buffer.add_char buf '\n'
+               | 't' -> Buffer.add_char buf '\t'
+               | 'r' -> Buffer.add_char buf '\r'
+               | 'b' -> Buffer.add_char buf '\b'
+               | 'f' -> Buffer.add_char buf '\012'
+               | 'u' ->
+                   if !pos + 4 >= n then fail "truncated \\u escape";
+                   let hex = String.sub s (!pos + 1) 4 in
+                   (match int_of_string_opt ("0x" ^ hex) with
+                   | Some code when code < 0x80 ->
+                       Buffer.add_char buf (Char.chr code)
+                   | Some _ -> fail "non-ASCII \\u escape unsupported"
+                   | None -> fail "bad \\u escape");
+                   pos := !pos + 4
+               | c -> fail (Printf.sprintf "bad escape \\%c" c));
+            advance ();
+            go ()
+        | c ->
+            Buffer.add_char buf c;
+            advance ();
+            go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some 'n' -> literal "null" Null
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some '"' -> Str (parse_string ())
+    | Some ('-' | '0' .. '9') -> parse_int ()
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else
+          let rec items acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                items (v :: acc)
+            | Some ']' ->
+                advance ();
+                List (List.rev (v :: acc))
+            | _ -> fail "expected ',' or ']'"
+          in
+          items []
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else
+          let field () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            (k, v)
+          in
+          let rec fields acc =
+            let kv = field () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                fields (kv :: acc)
+            | Some '}' ->
+                advance ();
+                Obj (List.rev (kv :: acc))
+            | _ -> fail "expected ',' or '}'"
+          in
+          fields []
+    | Some c -> fail (Printf.sprintf "unexpected character %C" c)
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Parse (at, msg) ->
+      Error (Printf.sprintf "json: at offset %d: %s" at msg)
+
+(* ------------------------------------------------------------------ *)
+(* decoding helpers                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let member k = function Obj fields -> List.assoc_opt k fields | _ -> None
+let to_int = function Int i -> Ok i | _ -> Error "expected an integer"
+let to_str = function Str s -> Ok s | _ -> Error "expected a string"
+let to_list = function List l -> Ok l | _ -> Error "expected a list"
+
+let get conv k j =
+  match member k j with
+  | None -> Error (Printf.sprintf "missing field %S" k)
+  | Some v -> (
+      match conv v with
+      | Ok x -> Ok x
+      | Error e -> Error (Printf.sprintf "field %S: %s" k e))
+
+let get_int k j = get to_int k j
+let get_str k j = get to_str k j
+let get_list k j = get to_list k j

@@ -1,0 +1,164 @@
+module Trace = Pindisk_algebra.Trace
+
+type reject = { step : int option; reason : string }
+
+let pp_reject ppf r =
+  match r.step with
+  | Some i -> Format.fprintf ppf "step %d: %s" i r.reason
+  | None -> Format.fprintf ppf "%s" r.reason
+
+(* Every integer a trace may legitimately contain fits well below this;
+   anything larger is rejected so the inequality checks below can never
+   overflow native arithmetic (products stay under 2^40). *)
+let limit = 1 lsl 20
+
+let reject ?step fmt =
+  Format.kasprintf (fun reason -> Error { step; reason }) fmt
+
+let wf_cond (c : Trace.cond) = 1 <= c.a && c.a <= c.b && c.b <= limit
+
+(* Scaling satisfied [premise] by [scale] (R1), then dropping count (R2)
+   and relaxing the window (R0), forces [count] occurrences into every
+   window of [window] slots. The witnessed core of the R1;R2;R0
+   composition. *)
+let forces ~(premise : Trace.cond) ~scale ~count ~window =
+  scale >= 1 && scale <= limit
+  && scale * premise.a >= count
+  && scale * (premise.b - premise.a) <= window - count
+
+(* Pseudo-task support: which emitted entries a conclusion rests on.
+   Conjunction steps add occurrence counts of the two premises, which is
+   only sound when their supports are disjoint. *)
+let disjoint s1 s2 = not (List.exists (fun x -> List.mem x s2) s1)
+
+let validate (t : Trace.t) =
+  let ( let* ) = Result.bind in
+  let* () = if t.Trace.file >= 0 then Ok () else reject "negative file id" in
+  let* () =
+    if t.Trace.m >= 1 && t.Trace.m <= limit then Ok ()
+    else reject "m out of range"
+  in
+  let* () =
+    if Array.length t.Trace.d > 0 then Ok () else reject "empty latency vector"
+  in
+  let* () =
+    let bad = ref None in
+    Array.iteri
+      (fun j dj ->
+        if !bad = None && (dj < t.Trace.m + j || dj > limit) then bad := Some j)
+      t.Trace.d;
+    match !bad with
+    | Some j -> reject "latency d^(%d) below m + %d or out of range" j j
+    | None -> Ok ()
+  in
+  let nice = Array.of_list t.Trace.nice in
+  let* () =
+    if Array.length nice = 0 then reject "empty nice conjunct"
+    else if Array.for_all wf_cond nice then Ok ()
+    else reject "malformed nice entry"
+  in
+  let steps = Array.of_list t.Trace.steps in
+  (* proved.(k) = (conclusion of step k, its emitted-entry support). *)
+  let proved = Array.make (max 1 (Array.length steps)) ({ Trace.a = 1; b = 1 }, []) in
+  let resolve ~at src =
+    match src with
+    | Trace.Emitted k ->
+        if k >= 0 && k < Array.length nice then Ok (nice.(k), [ k ])
+        else reject ~step:at "reference to nonexistent nice entry %d" k
+    | Trace.Derived k ->
+        if k >= 0 && k < at then Ok proved.(k)
+        else reject ~step:at "out-of-order reference to step %d" k
+  in
+  let check_step i step =
+    let* target, support =
+      match step with
+      | Trace.Implies { premise; scale; target } ->
+          let* p, support = resolve ~at:i premise in
+          if not (wf_cond target) then reject ~step:i "malformed target"
+          else if forces ~premise:p ~scale ~count:target.Trace.a ~window:target.Trace.b
+          then Ok (target, support)
+          else
+            reject ~step:i "scale %d does not carry %a into %a" scale
+              Trace.pp_cond p Trace.pp_cond target
+      | Trace.Conjoin { base; guaranteed; scale; alias; target } ->
+          let* b, bsup = resolve ~at:i base in
+          let* al, asup = resolve ~at:i alias in
+          if not (wf_cond target) then reject ~step:i "malformed target"
+          else if al.Trace.b <> target.Trace.b then
+            reject ~step:i "alias window %d differs from target window %d"
+              al.Trace.b target.Trace.b
+          else if guaranteed < 0 || guaranteed > limit then
+            reject ~step:i "guaranteed count out of range"
+          else if
+            guaranteed > 0
+            && not
+                 (forces ~premise:b ~scale ~count:guaranteed
+                    ~window:target.Trace.b)
+          then
+            reject ~step:i "base %a does not force %d into a %d-window"
+              Trace.pp_cond b guaranteed target.Trace.b
+          else if not (disjoint bsup asup) then
+            reject ~step:i "base and alias share a pseudo-task"
+          else if guaranteed + al.Trace.a < target.Trace.a then
+            reject ~step:i "%d + %d occurrences fall short of %d" guaranteed
+              al.Trace.a target.Trace.a
+          else Ok (target, bsup @ asup)
+      | Trace.Align { base; scale; alias; target } ->
+          let* b, bsup = resolve ~at:i base in
+          let* al, asup = resolve ~at:i alias in
+          if not (wf_cond target) then reject ~step:i "malformed target"
+          else if scale < 1 || scale > limit then
+            reject ~step:i "scale out of range"
+          else if al.Trace.b <> scale * b.Trace.b then
+            reject ~step:i "alias window %d is not %d x base window %d"
+              al.Trace.b scale b.Trace.b
+          else if al.Trace.b < target.Trace.b then
+            reject ~step:i "alias window %d shorter than target window %d"
+              al.Trace.b target.Trace.b
+          else if not (disjoint bsup asup) then
+            reject ~step:i "base and alias share a pseudo-task"
+          else if
+            (scale * b.Trace.a) + al.Trace.a + target.Trace.b - al.Trace.b
+            < target.Trace.a
+          then
+            reject ~step:i
+              "%d base + %d alias occurrences leave a %d-window short of %d"
+              (scale * b.Trace.a) al.Trace.a target.Trace.b target.Trace.a
+          else Ok (target, bsup @ asup)
+    in
+    proved.(i) <- (target, support);
+    Ok ()
+  in
+  let rec walk i =
+    if i >= Array.length steps then Ok ()
+    else
+      let* () = check_step i steps.(i) in
+      walk (i + 1)
+  in
+  let* () = walk 0 in
+  (* Coverage: every fault level must be concluded (or emitted verbatim). *)
+  let concluded (c : Trace.cond) =
+    Array.exists (fun n -> n = c) nice
+    || Array.exists (fun (tc, _) -> tc = c) proved
+       && Array.length steps > 0
+  in
+  let rec cover j =
+    if j >= Array.length t.Trace.d then Ok ()
+    else
+      let want = { Trace.a = t.Trace.m + j; b = t.Trace.d.(j) } in
+      if concluded want then cover (j + 1)
+      else
+        reject "fault level %d: pc(%d,%d) is not established by any step" j
+          want.Trace.a want.Trace.b
+  in
+  cover 0
+
+let validate_all traces =
+  let rec go i = function
+    | [] -> Ok ()
+    | t :: rest -> (
+        match validate t with
+        | Ok () -> go (i + 1) rest
+        | Error r -> Error (i, r))
+  in
+  go 0 traces

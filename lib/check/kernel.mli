@@ -1,0 +1,56 @@
+(** The trusted kernel: an independent validator for algebra derivation
+    traces.
+
+    {!Pindisk_algebra.Convert} {e claims} that its nice conjuncts imply the
+    original broadcast conditions and backs each claim with a
+    {!Pindisk_algebra.Trace.t}. This module re-establishes the claim from
+    the trace alone, LCF-style: every step carries explicit witnesses, so
+    checking is a fixed set of integer inequalities — no search, no calls
+    into the producer ({!Pindisk_algebra.Rules} and
+    {!Pindisk_algebra.Convert} are {e not} used here; the only dependencies
+    are the trace {e type} and [Pindisk_util] arithmetic).
+
+    What a valid trace establishes: any broadcast program in which each
+    emitted nice entry [pc(aᵢ, bᵢ)] is satisfied by its own pseudo-task
+    mapped onto the file satisfies [bc(file, m, d⃗)] — i.e. [pc(m + j, d⁽ʲ⁾)]
+    for every fault level [j].
+
+    Soundness arguments enforced per step (ids refer to
+    {!Pindisk_algebra.Trace.step}):
+
+    - [Implies] (R1;R2;R0): scaling a satisfied [pc(a, b)] by [n] forces
+      [n·a] occurrences into every [n·b]-window; shrinking by
+      [x = n·a - c] (R2) and relaxing the window (R0) reaches [pc(c, e)]
+      provided [n·a >= c] and [n·(b - a) <= e - c].
+    - [Conjoin] (R4 family): occurrences of {e distinct} pseudo-tasks add
+      up, so [guaranteed] from the base plus [alias.a] from an alias with
+      the same window cover the target count. The [guaranteed] count is
+      itself re-checked as an [Implies] with the recorded [scale].
+    - [Align] (R5 family): every [scale·base.b]-window holds
+      [scale·base.a + alias.a] occurrences; at most [alias.b - target.b] of
+      them can fall outside a given [target.b]-subwindow.
+
+    Each rejection pinpoints the offending step. References to later (or
+    nonexistent) steps, overlapping pseudo-task support between the two
+    premises of a conjunction, and any arithmetic outside
+    [\[1, 2{^20}\]] are rejected — a corrupted, reordered or truncated
+    trace cannot validate. *)
+
+module Trace = Pindisk_algebra.Trace
+
+type reject = {
+  step : int option;
+      (** index of the offending step, [None] for a whole-trace fault
+          (malformed header, uncovered fault level) *)
+  reason : string;
+}
+
+val pp_reject : Format.formatter -> reject -> unit
+
+val validate : Trace.t -> (unit, reject) result
+(** [validate t] accepts iff every step checks and every fault level
+    [pc(m + j, d⁽ʲ⁾)] of the broadcast condition is concluded by some step
+    (or appears verbatim among the emitted entries). *)
+
+val validate_all : Trace.t list -> (unit, int * reject) result
+(** First failure across a list, tagged with the trace's position. *)

@@ -24,10 +24,10 @@ let compiled_density specs =
 let density_lower_bound specs =
   Q.sum (List.map (fun s -> Bc.density_lower_bound s.bc) specs)
 
-let program specs =
+let program_certified specs =
   if specs = [] then invalid_arg "Generalized.program: no files";
   let bcs = List.map (fun s -> s.bc) specs in
-  let compiled = Convert.compile bcs in
+  let compiled, traces = Convert.compile_certified bcs in
   match Scheduler.schedule (List.map fst compiled) with
   | None -> None
   | Some sched ->
@@ -46,5 +46,8 @@ let program specs =
       if List.exists (fun bc -> Bc.check projected bc <> None) bcs then None
       else
         Some
-          (Program.make ~schedule:projected
-             ~capacities:(List.map (fun s -> (s.bc.Bc.file, s.capacity)) specs))
+          ( Program.make ~schedule:projected
+              ~capacities:(List.map (fun s -> (s.bc.Bc.file, s.capacity)) specs),
+            traces )
+
+let program specs = Option.map fst (program_certified specs)

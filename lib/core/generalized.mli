@@ -38,3 +38,10 @@ val program : spec list -> Program.t option
 (** The full pipeline. [None] when the scheduler cannot place the nice
     system. The result is guaranteed (re-checked, not assumed) to satisfy
     every input broadcast condition. *)
+
+val program_certified :
+  spec list -> (Program.t * Pindisk_algebra.Trace.t list) option
+(** {!program} plus the derivation traces the algebra emitted for each
+    file's conversion (in input order) — the evidence an independent
+    auditor ([pindisk.check]) validates without re-running this
+    pipeline. *)

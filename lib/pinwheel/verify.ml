@@ -5,11 +5,12 @@ let pp_violation ppf v =
     "pc(%d, %d, %d) violated: window starting at slot %d holds only %d occurrence(s)"
     v.task v.a v.b v.window_start v.found
 
-(* Minimum occurrences of [task] over all windows of length [window], via a
-   prefix-sum over two concatenated periods plus arithmetic for windows
-   longer than the period. *)
-let min_in_window sched ~task ~window =
-  if window < 1 then invalid_arg "Verify.min_in_window: window must be >= 1";
+(* Occurrences of [task] in the window of [window] slots starting at each
+   slot of one period, via a prefix-sum over two concatenated periods plus
+   arithmetic for windows longer than the period. The shared scaffolding of
+   every window check below, and of the design auditor in pindisk.check. *)
+let window_counts sched ~task ~window =
+  if window < 1 then invalid_arg "Verify.window_counts: window must be >= 1";
   let p = Schedule.period sched in
   let occ_per_period = Schedule.count sched task in
   (* prefix.(t) = occurrences in slots [0, t) of the doubled period. *)
@@ -19,33 +20,23 @@ let min_in_window sched ~task ~window =
       (prefix.(t) + if Schedule.task_at sched (t mod p) = task then 1 else 0)
   done;
   let full = window / p and rest = window mod p in
-  let best = ref max_int in
-  for start = 0 to p - 1 do
-    let in_rest = prefix.(start + rest) - prefix.(start) in
-    let total = (full * occ_per_period) + in_rest in
-    if total < !best then best := total
-  done;
-  !best
+  Array.init p (fun start ->
+      (full * occ_per_period) + prefix.(start + rest) - prefix.(start))
+
+let min_in_window sched ~task ~window =
+  if window < 1 then invalid_arg "Verify.min_in_window: window must be >= 1";
+  Array.fold_left min max_int (window_counts sched ~task ~window)
 
 let check_pc sched ~task ~a ~b =
   if a < 1 || b < a then invalid_arg "Verify.check_pc: need 1 <= a <= b";
-  let p = Schedule.period sched in
-  let occ_per_period = Schedule.count sched task in
-  let prefix = Array.make ((2 * p) + 1) 0 in
-  for t = 0 to (2 * p) - 1 do
-    prefix.(t + 1) <-
-      (prefix.(t) + if Schedule.task_at sched (t mod p) = task then 1 else 0)
-  done;
-  let full = b / p and rest = b mod p in
-  let exception Found of violation in
-  try
-    for start = 0 to p - 1 do
-      let total = (full * occ_per_period) + prefix.(start + rest) - prefix.(start) in
-      if total < a then
-        raise (Found { task; a; b; window_start = start; found = total })
-    done;
-    None
-  with Found v -> Some v
+  let counts = window_counts sched ~task ~window:b in
+  let rec scan start =
+    if start >= Array.length counts then None
+    else if counts.(start) < a then
+      Some { task; a; b; window_start = start; found = counts.(start) }
+    else scan (start + 1)
+  in
+  scan 0
 
 let check_task sched (t : Task.t) = check_pc sched ~task:t.Task.id ~a:t.Task.a ~b:t.Task.b
 
