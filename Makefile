@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-tables bench-micro examples audit doc clean
+.PHONY: all build test bench bench-tables bench-micro bench-codec examples audit doc clean
 
 all: build
 
@@ -19,6 +19,10 @@ bench-tables:
 
 bench-micro:
 	dune exec bench/main.exe -- micro
+
+# Quick codec-engine throughput run; writes BENCH_codec.json.
+bench-codec:
+	PINDISK_CODEC_QUICK=1 dune exec bench/main.exe -- e20
 
 audit:
 	@for design in examples/designs/*.design; do \

@@ -1,0 +1,264 @@
+(* E20 -- codec engine throughput: the table-driven GF(256) kernels and
+   the domain-parallel IDA paths against a faithful copy of the seed
+   implementation (log/exp lookups with a zero-branch per byte, one axpy
+   sweep per matrix coefficient).
+
+   A fixed-work harness repeats each operation until a time budget is
+   spent and reports MB/s over the file bytes processed; results land in
+   BENCH_codec.json (schema below) so the speedup trajectory is recorded
+   alongside the paper tables. Bechamel micro-benchmarks of the raw
+   kernels run at the end.
+
+   Quick mode (PINDISK_CODEC_QUICK=1, used by CI and `make bench-codec`)
+   trims the grid to the headline configurations. *)
+
+module Gf256 = Pindisk_gf256.Gf256
+module Matrix = Pindisk_gf256.Matrix
+module Ida = Pindisk_ida.Ida
+module Pool = Pindisk_util.Pool
+
+(* ---------------- baseline: the seed codec, kept verbatim ---------------- *)
+
+(* Rebuilt from the public exp/log so the baseline shares no bulk kernel
+   with the code under test. *)
+let exp_table =
+  Array.init 510 (fun k -> Gf256.exp (k mod 255))
+
+let log_table =
+  Array.init 256 (fun x -> if x = 0 then 0 else Gf256.log x)
+
+let baseline_axpy ~acc ~coeff ~src =
+  let coeff = coeff land 0xff in
+  if coeff <> 0 then begin
+    let lc = log_table.(coeff) in
+    for i = 0 to Bytes.length acc - 1 do
+      let s = Char.code (Bytes.unsafe_get src i) in
+      if s <> 0 then
+        Bytes.unsafe_set acc i
+          (Char.unsafe_chr
+             (Char.code (Bytes.unsafe_get acc i)
+             lxor exp_table.(lc + log_table.(s))))
+    done
+  end
+
+let source_blocks ~m ~s file =
+  Array.init m (fun j ->
+      let b = Bytes.make s '\000' in
+      let off = j * s in
+      let len = min s (Bytes.length file - off) in
+      if len > 0 then Bytes.blit file off b 0 len;
+      b)
+
+let baseline_disperse ~matrix ~m ~n file =
+  let s = (Bytes.length file + m - 1) / m in
+  let blocks = source_blocks ~m ~s file in
+  Array.init n (fun i ->
+      let data = Bytes.make s '\000' in
+      for j = 0 to m - 1 do
+        baseline_axpy ~acc:data ~coeff:(Matrix.get matrix i j) ~src:blocks.(j)
+      done;
+      (i, data))
+
+let baseline_reconstruct ~matrix ~m ~length pieces =
+  let indices = Array.map fst pieces in
+  let inv =
+    match Matrix.invert (Matrix.select_rows matrix indices) with
+    | Some inv -> inv
+    | None -> assert false
+  in
+  let s = Bytes.length (snd pieces.(0)) in
+  let out = Bytes.create length in
+  let block = Bytes.create s in
+  for j = 0 to m - 1 do
+    Bytes.fill block 0 s '\000';
+    for k = 0 to m - 1 do
+      baseline_axpy ~acc:block ~coeff:(Matrix.get inv j k) ~src:(snd pieces.(k))
+    done;
+    let off = j * s in
+    let len = min s (length - off) in
+    if len > 0 then Bytes.blit block 0 out off len
+  done;
+  out
+
+(* ---------------- fixed-work harness ---------------- *)
+
+let time_budget = ref 0.25
+let min_reps = 3
+
+(* Repeat [f] until the budget is spent; MB/s over [bytes] per call. *)
+let throughput ~bytes f =
+  ignore (f ());
+  (* warm-up + correctness-path *)
+  let t0 = Unix.gettimeofday () in
+  let reps = ref 0 in
+  let elapsed = ref 0.0 in
+  while !reps < min_reps || !elapsed < !time_budget do
+    ignore (Sys.opaque_identity (f ()));
+    incr reps;
+    elapsed := Unix.gettimeofday () -. t0
+  done;
+  float_of_int (!reps * bytes) /. !elapsed /. 1e6
+
+type cell = {
+  op : string;
+  impl : string;
+  m : int;
+  n : int;
+  size : int;
+  domains : int;
+  mb_per_s : float;
+}
+
+let run_grid ~quick ~pool =
+  let ms = if quick then [ 8 ] else [ 4; 8; 16 ] in
+  let rs = if quick then [ 0; 2 ] else [ 0; 2; 4 ] in
+  let sizes = if quick then [ 4096; 65536 ] else [ 4096; 65536; 1048576 ] in
+  let cells = ref [] in
+  let record c = cells := c :: !cells in
+  List.iter
+    (fun m ->
+      let matrix = Matrix.vandermonde ~rows:255 ~cols:m in
+      let ida = Ida.create ~m in
+      List.iter
+        (fun r ->
+          let n = m + r in
+          List.iter
+            (fun size ->
+              let file = Bytes.init size (fun i -> Char.chr ((i * 131) land 0xff)) in
+              let dispersed = Ida.disperse ida ~n file in
+              let keep = Array.sub dispersed 0 m in
+              let keep_list = Array.to_list keep in
+              let keep_pairs = Array.map (fun p -> (p.Ida.index, p.Ida.data)) keep in
+              let mk op impl domains mb =
+                record { op; impl; m; n; size; domains; mb_per_s = mb }
+              in
+              mk "disperse" "baseline" 1
+                (throughput ~bytes:size (fun () ->
+                     baseline_disperse ~matrix ~m ~n file));
+              mk "disperse" "table" 1
+                (throughput ~bytes:size (fun () -> Ida.disperse ida ~n file));
+              mk "disperse" "table" (Pool.size pool)
+                (throughput ~bytes:size (fun () ->
+                     Ida.disperse ~pool ida ~n file));
+              mk "reconstruct" "baseline" 1
+                (throughput ~bytes:size (fun () ->
+                     baseline_reconstruct ~matrix ~m ~length:size keep_pairs));
+              mk "reconstruct" "table" 1
+                (throughput ~bytes:size (fun () ->
+                     Ida.reconstruct ida ~length:size keep_list));
+              mk "reconstruct" "table" (Pool.size pool)
+                (throughput ~bytes:size (fun () ->
+                     Ida.reconstruct ~pool ida ~length:size keep_list)))
+            sizes)
+        rs)
+    ms;
+  List.rev !cells
+
+(* ---------------- JSON output ---------------- *)
+
+let find cells ~op ~impl ~m ~n ~size ~domains =
+  List.find_opt
+    (fun c ->
+      c.op = op && c.impl = impl && c.m = m && c.n = n && c.size = size
+      && c.domains = domains)
+    cells
+
+let headline cells ~pool_domains =
+  (* The acceptance configuration: m=8, r=2, 64 KiB. *)
+  let pick impl domains =
+    find cells ~op:"disperse" ~impl ~m:8 ~n:10 ~size:65536 ~domains
+  in
+  match (pick "baseline" 1, pick "table" 1, pick "table" pool_domains) with
+  | Some b, Some t1, Some tn ->
+      Some (t1.mb_per_s /. b.mb_per_s, tn.mb_per_s /. t1.mb_per_s)
+  | _ -> None
+
+let write_json ~path ~quick ~pool_domains cells =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"bench\": \"codec\",\n";
+  out "  \"mode\": \"%s\",\n" (if quick then "quick" else "full");
+  out "  \"recommended_domains\": %d,\n" (Domain.recommended_domain_count ());
+  out "  \"pool_domains\": %d,\n" pool_domains;
+  (match headline cells ~pool_domains with
+  | Some (speedup, scaling) ->
+      out "  \"disperse_m8_64KiB_table_over_baseline\": %.2f,\n" speedup;
+      out "  \"disperse_m8_64KiB_scaling_%ddom_over_1dom\": %.2f,\n" pool_domains
+        scaling
+  | None -> ());
+  out "  \"results\": [\n";
+  List.iteri
+    (fun i c ->
+      out
+        "    {\"op\": \"%s\", \"impl\": \"%s\", \"m\": %d, \"n\": %d, \
+         \"size\": %d, \"domains\": %d, \"mb_per_s\": %.1f}%s\n"
+        c.op c.impl c.m c.n c.size c.domains c.mb_per_s
+        (if i = List.length cells - 1 then "" else ","))
+    cells;
+  out "  ]\n}\n";
+  close_out oc
+
+(* ---------------- bechamel micro-benchmarks of the raw kernels ---------------- *)
+
+let micro () =
+  let open Bechamel in
+  let size = 65536 in
+  let src = Bytes.init size (fun i -> Char.chr ((i * 7) land 0xff)) in
+  let acc = Bytes.create size in
+  let srcs = Array.init 8 (fun j -> Bytes.init (size / 8) (fun i -> Char.chr ((i + j) land 0xff))) in
+  let coeffs = Array.init 8 (fun j -> j + 2) in
+  let dst = Bytes.create (size / 8) in
+  let tests =
+    Test.make_grouped ~name:"codec"
+      [
+        Test.make ~name:"axpy-seed 64KiB"
+          (Staged.stage (fun () -> baseline_axpy ~acc ~coeff:0x53 ~src));
+        Test.make ~name:"axpy-table 64KiB"
+          (Staged.stage (fun () -> Gf256.axpy ~acc ~coeff:0x53 ~src));
+        Test.make ~name:"mul_into 64KiB"
+          (Staged.stage (fun () -> Gf256.mul_into ~dst:acc ~coeff:0x53 ~src));
+        Test.make ~name:"encode_row m=8 8KiB"
+          (Staged.stage (fun () -> Gf256.encode_row ~dst ~coeffs ~srcs));
+      ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) () in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Hashtbl.iter
+    (fun name ols_result ->
+      match Analyze.OLS.estimates ols_result with
+      | Some [ est ] -> Format.printf "  %-28s %12.0f ns/run@." name est
+      | _ -> Format.printf "  %-28s (no estimate)@." name)
+    results
+
+let run () =
+  let quick = Sys.getenv_opt "PINDISK_CODEC_QUICK" <> None in
+  if quick then time_budget := 0.3;
+  Format.printf "== E20 / codec engine: table-driven GF(256) + domain pool ==@.";
+  let pool = Pool.create ~domains:4 () in
+  let pool_domains = Pool.size pool in
+  let cells = run_grid ~quick ~pool in
+  Pool.shutdown pool;
+  Format.printf "  %-12s %-9s m=%-3s n=%-3s %-9s dom %-3s MB/s@." "op" "impl"
+    "" "" "size" "";
+  List.iter
+    (fun c ->
+      Format.printf "  %-12s %-9s m=%-3d n=%-3d %-9d dom %-3d %.1f@." c.op
+        c.impl c.m c.n c.size c.domains c.mb_per_s)
+    cells;
+  (match headline cells ~pool_domains with
+  | Some (speedup, scaling) ->
+      Format.printf
+        "  headline (disperse m=8 n=10 64KiB): table/baseline %.2fx, \
+         %d-domain/1-domain %.2fx@."
+        speedup pool_domains scaling
+  | None -> ());
+  write_json ~path:"BENCH_codec.json" ~quick ~pool_domains cells;
+  Format.printf "  wrote BENCH_codec.json@.";
+  micro ();
+  Format.printf "@."

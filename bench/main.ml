@@ -27,6 +27,7 @@ let experiments =
     ("e17", "Spacing-quality ablation", Exp_quality.run);
     ("e18", "Transactions ablation", Exp_transaction.run);
     ("e19", "Adaptive degradation: static vs closed-loop", Exp_adaptive.run);
+    ("e20", "Codec engine: table-driven GF(256) + domain pool", Exp_codec.run);
   ]
 
 let () =

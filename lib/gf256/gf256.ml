@@ -33,6 +33,57 @@ let () =
     x := slow_mul !x 3
   done
 
+(* The flattened multiplication table: [mul_tab.[c*256 + x] = c * x] for
+   every coefficient [c]. 64 KiB, built once at startup, shared by every
+   bulk kernel below — one unsafe byte lookup replaces the seed path's
+   two bounds-checked array reads plus a zero-test per byte. Read-only
+   after initialization, so safe to share across domains. *)
+let mul_tab = Bytes.create 65536
+
+let () =
+  for c = 0 to 255 do
+    let base = c lsl 8 in
+    for x = 0 to 255 do
+      Bytes.unsafe_set mul_tab (base lor x) (Char.unsafe_chr (slow_mul c x))
+    done
+  done
+
+(* Unaligned 16-bit loads/stores, no bounds check — the same compiler
+   primitives [Stdlib.Bytes] builds its checked accessors from. Native
+   byte order on both ends keeps the wide tables endian-agnostic: a unit
+   read from a source buffer and the unit stored in the table transpose
+   bytes identically. *)
+external unsafe_get16 : bytes -> int -> int = "%caml_bytes_get16u"
+external unsafe_set16 : bytes -> int -> int -> unit = "%caml_bytes_set16u"
+
+(* Wide tables: [wide_tabs.(c)] maps every 16-bit source unit [(x0, x1)]
+   to the unit [(c*x0, c*x1)], halving the lookups per output byte in the
+   fused row kernels. 128 KiB per coefficient, built lazily on first use
+   (up to 32 MiB if all 255 nonzero coefficients appear). Publication is
+   a single pointer store after the fill loop, so concurrent readers see
+   either [Bytes.empty] (and rebuild, idempotently) or a complete table;
+   parallel encoders should still call [ensure_tables] from the
+   submitting domain first to avoid racy duplicate builds. *)
+let wide_tabs = Array.make 256 Bytes.empty
+
+let wide_table c =
+  let c = c land 0xff in
+  let t = wide_tabs.(c) in
+  if Bytes.length t <> 0 then t
+  else begin
+    let t = Bytes.create 131072 in
+    let base = c lsl 8 in
+    for x = 0 to 65535 do
+      let lo = Char.code (Bytes.unsafe_get mul_tab (base lor (x land 0xff))) in
+      let hi = Char.code (Bytes.unsafe_get mul_tab (base lor (x lsr 8))) in
+      unsafe_set16 t (2 * x) (lo lor (hi lsl 8))
+    done;
+    wide_tabs.(c) <- t;
+    t
+  end
+
+let ensure_tables coeffs = Array.iter (fun c -> ignore (wide_table c)) coeffs
+
 let add a b = (a lxor b) land 0xff
 let sub = add
 
@@ -56,20 +107,257 @@ let log a =
   if a = 0 then invalid_arg "Gf256.log: zero has no discrete log";
   log_table.(a)
 
+let mul_table c =
+  let c = c land 0xff in
+  Bytes.sub mul_tab (c lsl 8) 256
+
 let axpy ~acc ~coeff ~src =
   if Bytes.length acc <> Bytes.length src then
     invalid_arg "Gf256.axpy: length mismatch";
   let coeff = coeff land 0xff in
   if coeff <> 0 then begin
-    let lc = log_table.(coeff) in
+    let base = coeff lsl 8 in
     for i = 0 to Bytes.length acc - 1 do
-      let s = Char.code (Bytes.unsafe_get src i) in
-      if s <> 0 then
-        Bytes.unsafe_set acc i
-          (Char.unsafe_chr
-             (Char.code (Bytes.unsafe_get acc i)
-             lxor exp_table.(lc + log_table.(s))))
+      Bytes.unsafe_set acc i
+        (Char.unsafe_chr
+           (Char.code (Bytes.unsafe_get acc i)
+           lxor Char.code
+                  (Bytes.unsafe_get mul_tab
+                     (base lor Char.code (Bytes.unsafe_get src i)))))
     done
+  end
+
+let mul_into ~dst ~coeff ~src =
+  if Bytes.length dst <> Bytes.length src then
+    invalid_arg "Gf256.mul_into: length mismatch";
+  let coeff = coeff land 0xff in
+  if coeff = 0 then Bytes.fill dst 0 (Bytes.length dst) '\000'
+  else begin
+    let base = coeff lsl 8 in
+    for i = 0 to Bytes.length dst - 1 do
+      Bytes.unsafe_set dst i
+        (Bytes.unsafe_get mul_tab (base lor Char.code (Bytes.unsafe_get src i)))
+    done
+  end
+
+let encode_row ~dst ~coeffs ~srcs =
+  let k = Array.length coeffs in
+  if Array.length srcs <> k then invalid_arg "Gf256.encode_row: arity mismatch";
+  let n = Bytes.length dst in
+  Array.iter
+    (fun s ->
+      if Bytes.length s <> n then invalid_arg "Gf256.encode_row: length mismatch")
+    srcs;
+  (* Drop zero coefficients up front so the unit loop is branch-free. *)
+  let tabs = Array.make (max 1 k) Bytes.empty in
+  let inputs = Array.make (max 1 k) Bytes.empty in
+  let live = ref 0 in
+  for j = 0 to k - 1 do
+    let c = coeffs.(j) land 0xff in
+    if c <> 0 then begin
+      tabs.(!live) <- wide_table c;
+      inputs.(!live) <- srcs.(j);
+      incr live
+    end
+  done;
+  let live = !live in
+  if live = 0 then Bytes.fill dst 0 n '\000'
+  else begin
+    (* One fused pass, two bytes per step: each output unit accumulates
+       the whole matrix row through the wide tables, so [dst] is written
+       once instead of [k] read-modify-write sweeps. *)
+    let units = n / 2 in
+    for u = 0 to units - 1 do
+      let du = 2 * u in
+      let acc = ref 0 in
+      for j = 0 to live - 1 do
+        let x = unsafe_get16 (Array.unsafe_get inputs j) du in
+        acc := !acc lxor unsafe_get16 (Array.unsafe_get tabs j) (2 * x)
+      done;
+      unsafe_set16 dst du !acc
+    done;
+    if n land 1 = 1 then begin
+      let i = n - 1 in
+      let acc = ref 0 in
+      for j = 0 to live - 1 do
+        let x = Char.code (Bytes.unsafe_get (Array.unsafe_get inputs j) i) in
+        acc := !acc lxor Char.code (Bytes.unsafe_get (Array.unsafe_get tabs j) (2 * x))
+      done;
+      Bytes.unsafe_set dst i (Char.unsafe_chr !acc)
+    end
+  end
+
+let encode_row_strided ~dst ~coeffs ~src ~stride =
+  let k = Array.length coeffs in
+  let n = Bytes.length dst in
+  if stride < n then invalid_arg "Gf256.encode_row_strided: stride < dst length";
+  if Bytes.length src < k * stride then
+    invalid_arg "Gf256.encode_row_strided: src shorter than coeffs * stride";
+  let tabs = Array.make (max 1 k) Bytes.empty in
+  let offs = Array.make (max 1 k) 0 in
+  let live = ref 0 in
+  for j = 0 to k - 1 do
+    let c = coeffs.(j) land 0xff in
+    if c <> 0 then begin
+      tabs.(!live) <- wide_table c;
+      offs.(!live) <- j * stride;
+      incr live
+    end
+  done;
+  let live = !live in
+  if live = 0 then Bytes.fill dst 0 n '\000'
+  else begin
+    (* Same fused kernel as [encode_row], but source block [j] is read in
+       place at offset [j * stride] of one contiguous buffer — dispersal
+       needs no per-block extraction copies at all. *)
+    let units = n / 2 in
+    for u = 0 to units - 1 do
+      let du = 2 * u in
+      let acc = ref 0 in
+      for j = 0 to live - 1 do
+        let x = unsafe_get16 src (Array.unsafe_get offs j + du) in
+        acc := !acc lxor unsafe_get16 (Array.unsafe_get tabs j) (2 * x)
+      done;
+      unsafe_set16 dst du !acc
+    done;
+    if n land 1 = 1 then begin
+      let i = n - 1 in
+      let acc = ref 0 in
+      for j = 0 to live - 1 do
+        let x = Char.code (Bytes.unsafe_get src (Array.unsafe_get offs j + i)) in
+        acc := !acc lxor Char.code (Bytes.unsafe_get (Array.unsafe_get tabs j) (2 * x))
+      done;
+      Bytes.unsafe_set dst i (Char.unsafe_chr !acc)
+    end
+  end
+
+(* The grouped kernels below skip no zero coefficients: the wide table of
+   0 is all-zeroes, so a zero coefficient costs one wasted lookup per unit
+   instead of a branch — dispersal matrices have none anyway. *)
+
+let tabs_of row = Array.map wide_table row
+
+let fused1 ~dst ~tabs ~src ~stride =
+  let k = Array.length tabs in
+  let n = Bytes.length dst in
+  let units = n / 2 in
+  for u = 0 to units - 1 do
+    let du = 2 * u in
+    let acc = ref 0 in
+    for j = 0 to k - 1 do
+      let x = unsafe_get16 src ((j * stride) + du) in
+      acc := !acc lxor unsafe_get16 (Array.unsafe_get tabs j) (2 * x)
+    done;
+    unsafe_set16 dst du !acc
+  done;
+  if n land 1 = 1 then begin
+    let i = n - 1 in
+    let acc = ref 0 in
+    for j = 0 to k - 1 do
+      let x = Char.code (Bytes.unsafe_get src ((j * stride) + i)) in
+      acc := !acc lxor Char.code (Bytes.unsafe_get (Array.unsafe_get tabs j) (2 * x))
+    done;
+    Bytes.unsafe_set dst i (Char.unsafe_chr !acc)
+  end
+
+let fused2 ~dst1 ~dst2 ~t1 ~t2 ~src ~stride =
+  let k = Array.length t1 in
+  let n = Bytes.length dst1 in
+  let units = n / 2 in
+  for u = 0 to units - 1 do
+    let du = 2 * u in
+    let a1 = ref 0 and a2 = ref 0 in
+    for j = 0 to k - 1 do
+      let x = unsafe_get16 src ((j * stride) + du) in
+      a1 := !a1 lxor unsafe_get16 (Array.unsafe_get t1 j) (2 * x);
+      a2 := !a2 lxor unsafe_get16 (Array.unsafe_get t2 j) (2 * x)
+    done;
+    unsafe_set16 dst1 du !a1;
+    unsafe_set16 dst2 du !a2
+  done;
+  if n land 1 = 1 then begin
+    let i = n - 1 in
+    let a1 = ref 0 and a2 = ref 0 in
+    for j = 0 to k - 1 do
+      let x = Char.code (Bytes.unsafe_get src ((j * stride) + i)) in
+      a1 := !a1 lxor Char.code (Bytes.unsafe_get (Array.unsafe_get t1 j) (2 * x));
+      a2 := !a2 lxor Char.code (Bytes.unsafe_get (Array.unsafe_get t2 j) (2 * x))
+    done;
+    Bytes.unsafe_set dst1 i (Char.unsafe_chr !a1);
+    Bytes.unsafe_set dst2 i (Char.unsafe_chr !a2)
+  end
+
+let fused4 ~dst1 ~dst2 ~dst3 ~dst4 ~t1 ~t2 ~t3 ~t4 ~src ~stride =
+  let k = Array.length t1 in
+  let n = Bytes.length dst1 in
+  let units = n / 2 in
+  for u = 0 to units - 1 do
+    let du = 2 * u in
+    let a1 = ref 0 and a2 = ref 0 and a3 = ref 0 and a4 = ref 0 in
+    for j = 0 to k - 1 do
+      let x = unsafe_get16 src ((j * stride) + du) in
+      a1 := !a1 lxor unsafe_get16 (Array.unsafe_get t1 j) (2 * x);
+      a2 := !a2 lxor unsafe_get16 (Array.unsafe_get t2 j) (2 * x);
+      a3 := !a3 lxor unsafe_get16 (Array.unsafe_get t3 j) (2 * x);
+      a4 := !a4 lxor unsafe_get16 (Array.unsafe_get t4 j) (2 * x)
+    done;
+    unsafe_set16 dst1 du !a1;
+    unsafe_set16 dst2 du !a2;
+    unsafe_set16 dst3 du !a3;
+    unsafe_set16 dst4 du !a4
+  done;
+  if n land 1 = 1 then begin
+    let i = n - 1 in
+    let a1 = ref 0 and a2 = ref 0 and a3 = ref 0 and a4 = ref 0 in
+    for j = 0 to k - 1 do
+      let x = Char.code (Bytes.unsafe_get src ((j * stride) + i)) in
+      a1 := !a1 lxor Char.code (Bytes.unsafe_get (Array.unsafe_get t1 j) (2 * x));
+      a2 := !a2 lxor Char.code (Bytes.unsafe_get (Array.unsafe_get t2 j) (2 * x));
+      a3 := !a3 lxor Char.code (Bytes.unsafe_get (Array.unsafe_get t3 j) (2 * x));
+      a4 := !a4 lxor Char.code (Bytes.unsafe_get (Array.unsafe_get t4 j) (2 * x))
+    done;
+    Bytes.unsafe_set dst1 i (Char.unsafe_chr !a1);
+    Bytes.unsafe_set dst2 i (Char.unsafe_chr !a2);
+    Bytes.unsafe_set dst3 i (Char.unsafe_chr !a3);
+    Bytes.unsafe_set dst4 i (Char.unsafe_chr !a4)
+  end
+
+let encode_rows ~dsts ~rows ~src ~stride =
+  let g = Array.length dsts in
+  if Array.length rows <> g then invalid_arg "Gf256.encode_rows: arity mismatch";
+  if g > 0 then begin
+    let n = Bytes.length dsts.(0) in
+    Array.iter
+      (fun d ->
+        if Bytes.length d <> n then
+          invalid_arg "Gf256.encode_rows: dst lengths disagree")
+      dsts;
+    if stride < n then invalid_arg "Gf256.encode_rows: stride < dst length";
+    let k = Array.length rows.(0) in
+    Array.iter
+      (fun r ->
+        if Array.length r <> k then
+          invalid_arg "Gf256.encode_rows: row widths disagree")
+      rows;
+    if Bytes.length src < k * stride then
+      invalid_arg "Gf256.encode_rows: src shorter than row width * stride";
+    let tabs = Array.map tabs_of rows in
+    (* Groups of four, then two, then one: every group is a single pass
+       over the source units, so each loaded unit feeds up to four output
+       rows instead of being re-read once per row. *)
+    let i = ref 0 in
+    while g - !i >= 4 do
+      fused4 ~dst1:dsts.(!i) ~dst2:dsts.(!i + 1) ~dst3:dsts.(!i + 2)
+        ~dst4:dsts.(!i + 3) ~t1:tabs.(!i) ~t2:tabs.(!i + 1) ~t3:tabs.(!i + 2)
+        ~t4:tabs.(!i + 3) ~src ~stride;
+      i := !i + 4
+    done;
+    if g - !i >= 2 then begin
+      fused2 ~dst1:dsts.(!i) ~dst2:dsts.(!i + 1) ~t1:tabs.(!i)
+        ~t2:tabs.(!i + 1) ~src ~stride;
+      i := !i + 2
+    end;
+    if g - !i = 1 then fused1 ~dst:dsts.(!i) ~tabs:tabs.(!i) ~src ~stride
   end
 
 let pow x k =

@@ -36,12 +36,61 @@ val exp : int -> t
 (** [exp k] is the generator [3] raised to the [k]-th power (k taken
     mod 255). *)
 
+val mul_table : t -> bytes
+(** [mul_table c] is the 256-entry multiplication table of [c]: byte [x] of
+    the result is [mul c x]. The bulk kernels below index a flattened copy
+    of all 256 such tables (64 KiB, built once at module initialization),
+    so calling this is never needed for speed — it exists for callers that
+    want an explicit table (and for tests). *)
+
 val axpy : acc:bytes -> coeff:t -> src:bytes -> unit
 (** [axpy ~acc ~coeff ~src] performs [acc.(i) <- acc.(i) + coeff * src.(i)]
-    for every byte — the inner loop of dispersal and reconstruction, with
-    the discrete log of [coeff] looked up once for the whole buffer.
-    Raises [Invalid_argument] when lengths differ. [coeff = 0] is a
-    no-op. *)
+    for every byte — branch-free, one unsafe multiplication-table lookup
+    per byte. Raises [Invalid_argument] when lengths differ. [coeff = 0]
+    is a no-op. *)
+
+val mul_into : dst:bytes -> coeff:t -> src:bytes -> unit
+(** [mul_into ~dst ~coeff ~src] overwrites [dst.(i) <- coeff * src.(i)]
+    for every byte ([dst = src] is allowed). Raises [Invalid_argument]
+    when lengths differ. *)
+
+val encode_row : dst:bytes -> coeffs:t array -> srcs:bytes array -> unit
+(** [encode_row ~dst ~coeffs ~srcs] overwrites
+    [dst.(i) <- sum_j coeffs.(j) * srcs.(j).(i)] — one fused pass applying
+    a whole dispersal-matrix row, writing each output byte exactly once
+    instead of one read-modify-write sweep per coefficient. The pass moves
+    16 bits per step through per-coefficient wide tables (see
+    [ensure_tables]). Zero coefficients are skipped. Raises
+    [Invalid_argument] when [coeffs] and [srcs] disagree in length or any
+    source length differs from [dst]. *)
+
+val encode_row_strided :
+  dst:bytes -> coeffs:t array -> src:bytes -> stride:int -> unit
+(** [encode_row_strided ~dst ~coeffs ~src ~stride] is [encode_row] with
+    source block [j] read in place at offset [j * stride] of the single
+    buffer [src] — dispersal over a contiguous file needs no per-block
+    extraction copies. Requires [stride >= Bytes.length dst] and
+    [Bytes.length src >= Array.length coeffs * stride]; raises
+    [Invalid_argument] otherwise. *)
+
+val encode_rows :
+  dsts:bytes array -> rows:t array array -> src:bytes -> stride:int -> unit
+(** [encode_rows ~dsts ~rows ~src ~stride] applies several dispersal-matrix
+    rows in grouped passes: [dsts.(g).(i) <- sum_j rows.(g).(j) * src.(j *
+    stride + i)]. Rows are processed four (then two, then one) at a time,
+    so each source unit loaded feeds up to four output rows — this is the
+    fastest path for dispersal, where every piece reads the same source
+    blocks. All destinations must share one length [<= stride], all rows
+    one width [k] with [Bytes.length src >= k * stride]; raises
+    [Invalid_argument] otherwise. *)
+
+val ensure_tables : t array -> unit
+(** Pre-build the lazily-constructed 128 KiB wide multiplication tables
+    for the given coefficients (each maps a 16-bit source unit to its
+    coefficient-scaled unit). The fused kernels build tables on demand;
+    call this from the submitting domain before encoding the same
+    coefficients from several domains in parallel, so workers only ever
+    read fully-published tables. *)
 
 val log : t -> int
 (** Discrete log base 3; raises [Invalid_argument] on [0]. *)

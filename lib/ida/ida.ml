@@ -1,20 +1,42 @@
 module Gf256 = Pindisk_gf256.Gf256
 module Matrix = Pindisk_gf256.Matrix
+module Pool = Pindisk_util.Pool
 
 type piece = { index : int; data : bytes }
+
+type inverse_entry = { inv : Matrix.t; inv_rows : int array array; mutable last_use : int }
 
 type t = {
   m : int;
   dispersal : Matrix.t; (* 255 x m Vandermonde; row i produces piece i *)
-  inverses : (int list, Matrix.t) Hashtbl.t; (* keyed by sorted row indices *)
+  rows : int array array; (* rows.(i) = coefficients of dispersal row i *)
+  inverses : (int list, inverse_entry) Hashtbl.t; (* keyed by sorted row indices *)
+  mutable cache_cap : int;
+  mutable clock : int; (* logical time for LRU eviction *)
+  mutable cache_hits : int;
+  mutable cache_misses : int;
 }
+
+(* Cumulative count of row-encode passes (one per piece produced or source
+   block rebuilt); lets tests assert that no encode work is wasted. *)
+let passes = Atomic.make 0
+let encode_passes () = Atomic.get passes
+
+let row_coeffs matrix i =
+  Array.init (Matrix.cols matrix) (fun j -> Matrix.get matrix i j)
 
 let create ~m =
   if m < 1 || m > 255 then invalid_arg "Ida.create: m must be in [1, 255]";
+  let dispersal = Matrix.vandermonde ~rows:255 ~cols:m in
   {
     m;
-    dispersal = Matrix.vandermonde ~rows:255 ~cols:m;
+    dispersal;
+    rows = Array.init 255 (row_coeffs dispersal);
     inverses = Hashtbl.create 16;
+    cache_cap = 256;
+    clock = 0;
+    cache_hits = 0;
+    cache_misses = 0;
   }
 
 let m t = t.m
@@ -23,46 +45,121 @@ let piece_size t ~file_size =
   if file_size < 0 then invalid_arg "Ida.piece_size: negative size";
   (file_size + t.m - 1) / t.m
 
-let disperse t ~n file =
+(* Below this much total encode work (output bytes times coefficients per
+   byte), fan-out overhead beats the parallel win; stay sequential. *)
+let parallel_cutoff = 1 lsl 16
+
+(* Rows encoded per fused pass; matches the widest Gf256 grouped kernel. *)
+let row_group = 4
+
+let run_tasks pool ~work ~n f =
+  match pool with
+  | Some p when Pool.size p > 1 && work >= parallel_cutoff ->
+      Pool.parallel_for p ~n f
+  | _ ->
+      for i = 0 to n - 1 do
+        f i
+      done
+
+let disperse ?pool t ~n file =
   if n < t.m || n > 255 then invalid_arg "Ida.disperse: need m <= n <= 255";
-  let s = piece_size t ~file_size:(Bytes.length file) in
-  (* Source block j holds file bytes [j*s, (j+1)*s), zero-padded; extract
-     once so the hot loop is a table-driven axpy per (piece, block). *)
-  let blocks =
-    Array.init t.m (fun j ->
-        let b = Bytes.make s '\000' in
-        let off = j * s in
-        let len = min s (Bytes.length file - off) in
-        if len > 0 then Bytes.blit file off b 0 len;
-        b)
+  let len = Bytes.length file in
+  let s = piece_size t ~file_size:len in
+  (* Source block j is file bytes [j*s, (j+1)*s), zero-padded. When the
+     length divides evenly the strided kernel reads the caller's buffer in
+     place; otherwise one padded copy stands in — never a copy per block. *)
+  let src =
+    if t.m * s = len then file
+    else begin
+      let b = Bytes.make (t.m * s) '\000' in
+      Bytes.blit file 0 b 0 len;
+      b
+    end
   in
-  Array.init n (fun i ->
-      let data = Bytes.make s '\000' in
-      for j = 0 to t.m - 1 do
-        Gf256.axpy ~acc:data ~coeff:(Matrix.get t.dispersal i j) ~src:blocks.(j)
-      done;
-      { index = i; data })
+  let pieces =
+    Array.init n (fun i -> { index = i; data = Bytes.create s })
+  in
+  for i = 0 to n - 1 do
+    Gf256.ensure_tables t.rows.(i)
+  done;
+  (* Each task encodes a group of [row_group] pieces in one fused pass
+     over the source units (see [Gf256.encode_rows]). *)
+  let groups = (n + row_group - 1) / row_group in
+  run_tasks pool ~work:(n * s * t.m) ~n:groups (fun g ->
+      let lo = g * row_group in
+      let width = min row_group (n - lo) in
+      Gf256.encode_rows
+        ~dsts:(Array.init width (fun j -> pieces.(lo + j).data))
+        ~rows:(Array.init width (fun j -> t.rows.(lo + j)))
+        ~src ~stride:s);
+  ignore (Atomic.fetch_and_add passes n);
+  pieces
+
+let evict_lru t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun key e ->
+      match !victim with
+      | Some (_, oldest) when oldest <= e.last_use -> ()
+      | _ -> victim := Some (key, e.last_use))
+    t.inverses;
+  match !victim with
+  | Some (key, _) -> Hashtbl.remove t.inverses key
+  | None -> ()
 
 let inverse_for t indices =
   let key = Array.to_list indices in
+  t.clock <- t.clock + 1;
   match Hashtbl.find_opt t.inverses key with
-  | Some inv -> inv
+  | Some e ->
+      t.cache_hits <- t.cache_hits + 1;
+      e.last_use <- t.clock;
+      e
   | None -> (
+      t.cache_misses <- t.cache_misses + 1;
       let sub = Matrix.select_rows t.dispersal indices in
       match Matrix.invert sub with
       | None ->
           (* Unreachable: any m distinct Vandermonde rows are independent. *)
           assert false
       | Some inv ->
-          Hashtbl.add t.inverses key inv;
-          inv)
+          if Hashtbl.length t.inverses >= t.cache_cap then evict_lru t;
+          let e =
+            {
+              inv;
+              inv_rows = Array.init t.m (row_coeffs inv);
+              last_use = t.clock;
+            }
+          in
+          Hashtbl.add t.inverses key e;
+          e)
 
-let reconstruct t ~length pieces =
+let cached_inverses t = Hashtbl.length t.inverses
+let cache_stats t = (t.cache_hits, t.cache_misses)
+
+let set_cache_cap t cap =
+  if cap < 1 then invalid_arg "Ida.set_cache_cap: cap must be >= 1";
+  t.cache_cap <- cap;
+  while Hashtbl.length t.inverses > cap do
+    evict_lru t
+  done
+
+let reconstruct ?pool t ~length pieces =
   if length < 0 then invalid_arg "Ida.reconstruct: negative length";
-  (* Keep the first piece seen for each index, in sorted index order. *)
-  let by_index =
-    List.sort_uniq (fun a b -> compare a.index b.index) pieces
+  (* Keep the first piece seen for each index (deterministic even when a
+     corrupted duplicate disagrees with the original), in index order. *)
+  let seen = Hashtbl.create 16 in
+  let uniq =
+    List.filter
+      (fun p ->
+        if Hashtbl.mem seen p.index then false
+        else begin
+          Hashtbl.add seen p.index ();
+          true
+        end)
+      pieces
   in
+  let by_index = List.sort (fun a b -> compare a.index b.index) uniq in
   if List.length by_index < t.m then
     invalid_arg "Ida.reconstruct: fewer than m distinct pieces";
   let chosen = Array.of_list by_index in
@@ -77,20 +174,29 @@ let reconstruct t ~length pieces =
     chosen;
   if length > s * t.m then
     invalid_arg "Ida.reconstruct: length exceeds encoded data";
-  let inv = inverse_for t (Array.map (fun p -> p.index) chosen) in
+  let entry = inverse_for t (Array.map (fun p -> p.index) chosen) in
+  (* Source block j = sum over received pieces k of inv[j][k] * piece_k.
+     Pieces are gathered into one contiguous buffer (a single memcpy-speed
+     pass) so the grouped strided kernel rebuilds up to four blocks per
+     pass over the piece units; a final blit trims the padding. *)
+  let gathered = Bytes.create (t.m * s) in
+  Array.iteri (fun k p -> Bytes.blit p.data 0 gathered (k * s) s) chosen;
+  let blocks = Array.init t.m (fun _ -> Bytes.create s) in
+  Array.iter Gf256.ensure_tables entry.inv_rows;
+  let groups = (t.m + row_group - 1) / row_group in
+  run_tasks pool ~work:(t.m * s * t.m) ~n:groups (fun g ->
+      let lo = g * row_group in
+      let width = min row_group (t.m - lo) in
+      Gf256.encode_rows
+        ~dsts:(Array.sub blocks lo width)
+        ~rows:(Array.init width (fun j -> entry.inv_rows.(lo + j)))
+        ~src:gathered ~stride:s);
+  ignore (Atomic.fetch_and_add passes t.m);
   let out = Bytes.create length in
-  (* Source block j = sum over received pieces k of inv[j][k] * piece_k,
-     computed as one axpy per (j, k) and blitted (trimmed of padding)
-     into place. *)
-  let block = Bytes.create s in
   for j = 0 to t.m - 1 do
-    Bytes.fill block 0 s '\000';
-    for k = 0 to t.m - 1 do
-      Gf256.axpy ~acc:block ~coeff:(Matrix.get inv j k) ~src:chosen.(k).data
-    done;
     let off = j * s in
     let len = min s (length - off) in
-    if len > 0 then Bytes.blit block 0 out off len
+    if len > 0 then Bytes.blit blocks.(j) 0 out off len
   done;
   out
 

@@ -19,32 +19,62 @@ type piece = { index : int; data : bytes }
     dispersal has the same payload size [ceil (file_size / m)]. *)
 
 type t
-(** A dispersal context for fixed [m]: caches the dispersal matrix and the
+(** A dispersal context for fixed [m]: caches the dispersal matrix, its
+    rows as coefficient arrays for the fused encode kernel, and the
     reconstruction inverses for row subsets already seen (the paper notes
-    the inverse transformations "could be precomputed"). Contexts are cheap;
-    reuse one per file class for speed. *)
+    the inverse transformations "could be precomputed"). The inverse cache
+    is size-capped with LRU eviction, so adversarial loss patterns (up to
+    [C(255, m)] distinct row subsets) cannot grow it without bound.
+    Contexts are cheap; reuse one per file class for speed. *)
 
 val create : m:int -> t
 (** [create ~m] prepares dispersal with [m] source blocks,
-    [1 <= m <= 255]. *)
+    [1 <= m <= 255]. The inverse cache is capped at 256 entries by
+    default; adjust with {!set_cache_cap}. *)
+
+val set_cache_cap : t -> int -> unit
+(** [set_cache_cap t cap] bounds the reconstruction-inverse cache to [cap]
+    entries ([>= 1]), evicting least-recently-used entries immediately if
+    it is currently larger. *)
 
 val m : t -> int
 
-val disperse : t -> n:int -> bytes -> piece array
+val disperse : ?pool:Pindisk_util.Pool.t -> t -> n:int -> bytes -> piece array
 (** [disperse t ~n file] produces [n] dispersed blocks, [m <= n <= 255].
     [file] is padded internally to a multiple of [m] bytes; use
     {!reconstruct} with the original length to strip the padding. The result
-    has pieces in index order [0 .. n-1]. *)
+    has pieces in index order [0 .. n-1]. When [pool] is given and the
+    encode work is large enough to amortize fan-out, pieces are encoded in
+    parallel across its domains; the output is byte-identical to the
+    sequential path. *)
 
 val piece_size : t -> file_size:int -> int
 (** Payload size of each dispersed block for a file of [file_size] bytes:
     [ceil (file_size / m)] (0 gives 0). *)
 
-val reconstruct : t -> length:int -> piece list -> bytes
+val reconstruct : ?pool:Pindisk_util.Pool.t -> t -> length:int -> piece list -> bytes
 (** [reconstruct t ~length pieces] rebuilds the original file of [length]
-    bytes from any [>= m t] distinct pieces (extras are ignored). Raises
+    bytes from any [>= m t] distinct pieces (extras are ignored; duplicate
+    indices keep the {e first} occurrence in list order, so the result is
+    deterministic even when a corrupted duplicate disagrees). Raises
     [Invalid_argument] if fewer than [m] distinct indices are supplied, if
-    piece sizes disagree, or if [length] exceeds what the pieces encode. *)
+    piece sizes disagree, or if [length] exceeds what the pieces encode.
+    [pool] parallelizes source-block rebuilding exactly as in
+    {!disperse}. *)
+
+val cached_inverses : t -> int
+(** Number of reconstruction inverses currently cached (always
+    [<= cache_cap]). *)
+
+val cache_stats : t -> int * int
+(** [(hits, misses)] of the reconstruction-inverse cache since [create],
+    counted per {!reconstruct} lookup. *)
+
+val encode_passes : unit -> int
+(** Cumulative number of row-encode passes performed by {!disperse} and
+    {!reconstruct} across all contexts (one pass per piece produced or
+    source block rebuilt). Monotone; take a delta around a call to count
+    its encode work. *)
 
 val overhead : m:int -> n:int -> float
 (** Bandwidth expansion factor [n/m] of a dispersal level. *)

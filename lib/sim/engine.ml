@@ -43,7 +43,7 @@ let run ?max_slots ~program ~fault ~seed trace =
       let outcome =
         Client.retrieve ?max_slots ~program ~file:r.Workload.file
           ~needed:r.Workload.needed ~start:r.Workload.issued
-          ~fault:(fault ~seed:(seed + k)) ()
+          ~fault:(fault ~seed:(Pindisk_util.Intmath.mix64 (seed + k))) ()
       in
       let reqs, miss, lat = file_entry r.Workload.file in
       incr reqs;

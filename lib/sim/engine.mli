@@ -36,7 +36,9 @@ val run :
   ?max_slots:int -> program:Pindisk.Program.t ->
   fault:(seed:int -> Fault.t) -> seed:int -> Workload.request list -> result
 (** [run ~program ~fault ~seed trace] executes every request; request [k]
-    gets the fault process [fault ~seed:(seed + k)]. *)
+    gets the fault process [fault ~seed:(Intmath.mix64 (seed + k))] — the
+    splitmix64 finalizer decorrelates adjacent requests' fault streams,
+    which plain [seed + k] does not. *)
 
 val pp_result : Format.formatter -> result -> unit
 (** The global summary followed by one {!pp_file_stats} line per file,

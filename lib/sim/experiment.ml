@@ -28,7 +28,7 @@ let run ?max_slots ~program ~file ~needed ~deadline ~fault ~trials ~seed () =
     let start = Random.State.int rng cycle in
     let outcome =
       Client.retrieve ?max_slots ~program ~file ~needed ~start
-        ~fault:(fault ~seed:(seed + k)) ()
+        ~fault:(fault ~seed:(Pindisk_util.Intmath.mix64 (seed + k))) ()
     in
     total_losses := !total_losses + outcome.Client.losses;
     (match outcome.Client.elapsed with

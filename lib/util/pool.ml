@@ -1,0 +1,154 @@
+(* A hand-rolled domain pool (OCaml 5 [Domain] + [Atomic]; no external
+   dependencies). Workers park on a condition variable; [parallel_for]
+   publishes one job (a generation-stamped index range) and participates
+   itself, so a pool of size 1 degenerates to a plain sequential loop and
+   the submitting domain is never idle. Indices are claimed with a
+   fetch-and-add work counter, which balances uneven piece sizes. *)
+
+type job = {
+  run : int -> unit;
+  n : int;
+  next : int Atomic.t; (* next unclaimed index *)
+  pending : int Atomic.t; (* indices not yet completed *)
+  mutable error : exn option; (* first exception, re-raised by the caller *)
+  job_lock : Mutex.t;
+  finished : Condition.t;
+}
+
+type t = {
+  mutable workers : unit Domain.t array; (* set once, right after spawn *)
+  lock : Mutex.t;
+  wake : Condition.t;
+  mutable current : job option;
+  mutable generation : int;
+  mutable stopped : bool;
+}
+
+let size t = Array.length t.workers + 1
+
+let record_error job e =
+  Mutex.lock job.job_lock;
+  if job.error = None then job.error <- Some e;
+  Mutex.unlock job.job_lock
+
+(* Claim and complete indices until the job is exhausted. Once an error is
+   recorded the remaining indices are drained without running, so the
+   caller's completion wait still terminates. *)
+let execute job =
+  let rec go () =
+    let i = Atomic.fetch_and_add job.next 1 in
+    if i < job.n then begin
+      (if job.error = None then
+         try job.run i with e -> record_error job e);
+      if Atomic.fetch_and_add job.pending (-1) = 1 then begin
+        Mutex.lock job.job_lock;
+        Condition.broadcast job.finished;
+        Mutex.unlock job.job_lock
+      end;
+      go ()
+    end
+  in
+  go ()
+
+let worker t =
+  let last = ref 0 in
+  let rec loop () =
+    Mutex.lock t.lock;
+    while (not t.stopped) && (t.current = None || t.generation = !last) do
+      Condition.wait t.wake t.lock
+    done;
+    if t.stopped then Mutex.unlock t.lock
+    else begin
+      last := t.generation;
+      let job = Option.get t.current in
+      Mutex.unlock t.lock;
+      execute job;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ?domains () =
+  let domains =
+    match domains with
+    | Some d ->
+        if d < 1 then invalid_arg "Pool.create: domains must be >= 1";
+        d
+    | None -> Domain.recommended_domain_count ()
+  in
+  let domains = min domains 128 in
+  let t =
+    {
+      workers = [||];
+      lock = Mutex.create ();
+      wake = Condition.create ();
+      current = None;
+      generation = 0;
+      stopped = false;
+    }
+  in
+  t.workers <-
+    Array.init (domains - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let parallel_for t ~n f =
+  if n < 0 then invalid_arg "Pool.parallel_for: negative count";
+  if n > 0 then
+    if Array.length t.workers = 0 || n = 1 then
+      for i = 0 to n - 1 do
+        f i
+      done
+    else begin
+      let job =
+        {
+          run = f;
+          n;
+          next = Atomic.make 0;
+          pending = Atomic.make n;
+          error = None;
+          job_lock = Mutex.create ();
+          finished = Condition.create ();
+        }
+      in
+      Mutex.lock t.lock;
+      if t.stopped then begin
+        Mutex.unlock t.lock;
+        invalid_arg "Pool.parallel_for: pool is shut down"
+      end;
+      t.current <- Some job;
+      t.generation <- t.generation + 1;
+      Condition.broadcast t.wake;
+      Mutex.unlock t.lock;
+      (* The caller always completes its own job even if every worker is
+         busy elsewhere, so overlapping submissions cannot deadlock. *)
+      execute job;
+      Mutex.lock job.job_lock;
+      while Atomic.get job.pending > 0 do
+        Condition.wait job.finished job.job_lock
+      done;
+      Mutex.unlock job.job_lock;
+      match job.error with Some e -> raise e | None -> ()
+    end
+
+let shutdown t =
+  Mutex.lock t.lock;
+  t.stopped <- true;
+  Condition.broadcast t.wake;
+  Mutex.unlock t.lock;
+  Array.iter Domain.join t.workers
+
+let shared = ref None
+let shared_lock = Mutex.create ()
+
+let default () =
+  Mutex.lock shared_lock;
+  let p =
+    match !shared with
+    | Some p -> p
+    | None ->
+        let p = create () in
+        shared := Some p;
+        p
+  in
+  Mutex.unlock shared_lock;
+  p

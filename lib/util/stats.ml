@@ -2,12 +2,10 @@ type t = {
   mutable values : float array;
   mutable len : int;
   mutable sum : float;
-  mutable sum_sq : float;
   mutable sorted : bool;
 }
 
-let create () =
-  { values = Array.make 16 0.0; len = 0; sum = 0.0; sum_sq = 0.0; sorted = true }
+let create () = { values = Array.make 16 0.0; len = 0; sum = 0.0; sorted = true }
 
 let add t x =
   if t.len = Array.length t.values then begin
@@ -18,7 +16,6 @@ let add t x =
   t.values.(t.len) <- x;
   t.len <- t.len + 1;
   t.sum <- t.sum +. x;
-  t.sum_sq <- t.sum_sq +. (x *. x);
   t.sorted <- false
 
 let add_int t x = add t (float_of_int x)
@@ -27,10 +24,19 @@ let total t = t.sum
 let mean t = if t.len = 0 then Float.nan else t.sum /. float_of_int t.len
 
 let variance t =
+  (* Two-pass over the stored values: the streaming [sum_sq/n - mean^2]
+     formula cancels catastrophically for large-offset data (it can even
+     go negative); the centered sum of squares cannot. *)
   if t.len = 0 then Float.nan
-  else
+  else begin
     let m = mean t in
-    (t.sum_sq /. float_of_int t.len) -. (m *. m)
+    let acc = ref 0.0 in
+    for i = 0 to t.len - 1 do
+      let d = t.values.(i) -. m in
+      acc := !acc +. (d *. d)
+    done;
+    !acc /. float_of_int t.len
+  end
 
 let stddev t = sqrt (max 0.0 (variance t))
 

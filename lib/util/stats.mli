@@ -19,7 +19,9 @@ val mean : t -> float
 (** [nan] when empty. *)
 
 val variance : t -> float
-(** Population variance; [nan] when empty. *)
+(** Population variance; [nan] when empty. Computed in two passes over the
+    stored observations (centered sum of squares), so it stays accurate
+    for large-offset data where the naive streaming formula cancels. *)
 
 val stddev : t -> float
 

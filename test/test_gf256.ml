@@ -98,6 +98,177 @@ let field_props =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Bulk kernels                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Reference semantics, one scalar mul at a time. *)
+let ref_axpy ~acc ~coeff ~src =
+  Bytes.mapi
+    (fun i a -> Char.chr (Char.code a lxor Gf.mul coeff (Char.code (Bytes.get src i))))
+    acc
+
+let ref_row ~coeffs ~srcs ~len =
+  Bytes.init len (fun i ->
+      Array.to_list coeffs
+      |> List.mapi (fun j c -> Gf.mul c (Char.code (Bytes.get srcs.(j) i)))
+      |> List.fold_left ( lxor ) 0 |> Char.chr)
+
+let rand_bytes rng len = Bytes.init len (fun _ -> Char.chr (Random.State.int rng 256))
+
+let test_mul_table () =
+  for c = 0 to 255 do
+    let tab = Gf.mul_table c in
+    check_int (Printf.sprintf "table %d length" c) 256 (Bytes.length tab);
+    for x = 0 to 255 do
+      check_int
+        (Printf.sprintf "tab.(%d).(%d)" c x)
+        (Gf.mul c x)
+        (Char.code (Bytes.get tab x))
+    done
+  done
+
+let test_axpy_matches_reference () =
+  let rng = Random.State.make [| 7 |] in
+  List.iter
+    (fun len ->
+      List.iter
+        (fun coeff ->
+          let src = rand_bytes rng len in
+          let acc = rand_bytes rng len in
+          let expect = ref_axpy ~acc ~coeff ~src in
+          Gf.axpy ~acc ~coeff ~src;
+          Alcotest.(check bool)
+            (Printf.sprintf "axpy len=%d coeff=%d" len coeff)
+            true (Bytes.equal acc expect))
+        [ 0; 1; 2; 0x53; 255 ])
+    [ 0; 1; 7; 64; 257 ];
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Gf256.axpy: length mismatch") (fun () ->
+      Gf.axpy ~acc:(Bytes.create 3) ~coeff:1 ~src:(Bytes.create 4))
+
+let test_mul_into_matches_reference () =
+  let rng = Random.State.make [| 8 |] in
+  List.iter
+    (fun coeff ->
+      let src = rand_bytes rng 129 in
+      let dst = rand_bytes rng 129 in
+      Gf.mul_into ~dst ~coeff ~src;
+      Bytes.iteri
+        (fun i b ->
+          check_int
+            (Printf.sprintf "mul_into coeff=%d byte %d" coeff i)
+            (Gf.mul coeff (Char.code (Bytes.get src i)))
+            (Char.code b))
+        dst)
+    [ 0; 1; 0xca; 255 ];
+  (* in-place: dst == src *)
+  let b = rand_bytes rng 33 in
+  let copy = Bytes.copy b in
+  Gf.mul_into ~dst:b ~coeff:3 ~src:b;
+  Alcotest.(check bool) "in place" true
+    (Bytes.equal b (ref_row ~coeffs:[| 3 |] ~srcs:[| copy |] ~len:33))
+
+let test_encode_row_matches_reference () =
+  let rng = Random.State.make [| 9 |] in
+  List.iter
+    (fun len ->
+      List.iter
+        (fun k ->
+          let srcs = Array.init k (fun _ -> rand_bytes rng len) in
+          let coeffs = Array.init k (fun _ -> Random.State.int rng 256) in
+          if k > 1 then coeffs.(1) <- 0;
+          (* exercise the zero-coefficient path *)
+          let dst = rand_bytes rng len in
+          Gf.encode_row ~dst ~coeffs ~srcs;
+          Alcotest.(check bool)
+            (Printf.sprintf "encode_row len=%d k=%d" len k)
+            true
+            (Bytes.equal dst (ref_row ~coeffs ~srcs ~len)))
+        [ 1; 2; 5; 8 ])
+    [ 0; 1; 2; 63; 64; 65 ];
+  (* all-zero coefficients blank the destination *)
+  let dst = Bytes.make 9 'x' in
+  Gf.encode_row ~dst ~coeffs:[| 0; 0 |]
+    ~srcs:[| Bytes.make 9 'a'; Bytes.make 9 'b' |];
+  Alcotest.(check bool) "zero row blanks" true (Bytes.equal dst (Bytes.make 9 '\000'));
+  Alcotest.check_raises "arity mismatch"
+    (Invalid_argument "Gf256.encode_row: arity mismatch") (fun () ->
+      Gf.encode_row ~dst ~coeffs:[| 1 |] ~srcs:[||])
+
+let test_encode_rows_matches_reference () =
+  let rng = Random.State.make [| 10 |] in
+  (* Group counts around the 4/2/1 grouping boundaries, odd and even
+     lengths, strided sources with slack between blocks. *)
+  List.iter
+    (fun g ->
+      List.iter
+        (fun len ->
+          let k = 3 in
+          let stride = len + 5 in
+          let src = rand_bytes rng (k * stride) in
+          let blocks =
+            Array.init k (fun j -> Bytes.sub src (j * stride) len)
+          in
+          let rows =
+            Array.init g (fun _ -> Array.init k (fun _ -> Random.State.int rng 256))
+          in
+          let dsts = Array.init g (fun _ -> rand_bytes rng len) in
+          Gf.encode_rows ~dsts ~rows ~src ~stride;
+          Array.iteri
+            (fun i dst ->
+              Alcotest.(check bool)
+                (Printf.sprintf "encode_rows g=%d len=%d row %d" g len i)
+                true
+                (Bytes.equal dst (ref_row ~coeffs:rows.(i) ~srcs:blocks ~len)))
+            dsts)
+        [ 0; 1; 17; 64 ])
+    [ 0; 1; 2; 3; 4; 5; 7; 8; 9 ];
+  Alcotest.check_raises "stride too small"
+    (Invalid_argument "Gf256.encode_rows: stride < dst length") (fun () ->
+      Gf.encode_rows
+        ~dsts:[| Bytes.create 4 |]
+        ~rows:[| [| 1 |] |]
+        ~src:(Bytes.create 4) ~stride:3)
+
+let test_ensure_tables () =
+  (* Must be callable on any coefficients, repeatedly, without changing
+     kernel results. *)
+  Gf.ensure_tables [| 0; 1; 254; 255 |];
+  Gf.ensure_tables [| 0; 1; 254; 255 |];
+  let src = Bytes.init 10 (fun i -> Char.chr (i * 25)) in
+  let dst = Bytes.create 10 in
+  Gf.encode_row ~dst ~coeffs:[| 255 |] ~srcs:[| src |];
+  Alcotest.(check bool) "post ensure_tables" true
+    (Bytes.equal dst (ref_row ~coeffs:[| 255 |] ~srcs:[| src |] ~len:10))
+
+let kernel_props =
+  let gen =
+    QCheck2.Gen.(
+      pair (int_range 0 200) (int_bound 1_000_000))
+  in
+  [
+    prop "encode_rows == per-row encode_row on random strided input" 200 gen
+      (fun (len, seed) ->
+        let rng = Random.State.make [| seed |] in
+        let k = 1 + Random.State.int rng 6 in
+        let g = 1 + Random.State.int rng 6 in
+        let stride = len + Random.State.int rng 3 in
+        let src = rand_bytes rng (k * stride) in
+        let blocks = Array.init k (fun j -> Bytes.sub src (j * stride) len) in
+        let rows =
+          Array.init g (fun _ -> Array.init k (fun _ -> Random.State.int rng 256))
+        in
+        let dsts = Array.init g (fun _ -> Bytes.create len) in
+        Gf.encode_rows ~dsts ~rows ~src ~stride;
+        Array.for_all2
+          (fun dst row ->
+            let one = Bytes.create len in
+            Gf.encode_row ~dst:one ~coeffs:row ~srcs:blocks;
+            Bytes.equal dst one)
+          dsts rows);
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Matrices                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -169,6 +340,20 @@ let () =
           Alcotest.test_case "pow" `Quick test_pow;
         ] );
       ("field-properties", List.map QCheck_alcotest.to_alcotest field_props);
+      ( "kernels",
+        [
+          Alcotest.test_case "mul_table" `Quick test_mul_table;
+          Alcotest.test_case "axpy matches reference" `Quick
+            test_axpy_matches_reference;
+          Alcotest.test_case "mul_into matches reference" `Quick
+            test_mul_into_matches_reference;
+          Alcotest.test_case "encode_row matches reference" `Quick
+            test_encode_row_matches_reference;
+          Alcotest.test_case "encode_rows matches reference" `Quick
+            test_encode_rows_matches_reference;
+          Alcotest.test_case "ensure_tables" `Quick test_ensure_tables;
+        ] );
+      ("kernel-properties", List.map QCheck_alcotest.to_alcotest kernel_props);
       ( "matrix",
         [
           Alcotest.test_case "identity laws" `Quick test_identity;

@@ -105,6 +105,181 @@ let test_overhead () =
   Alcotest.(check (float 1e-9)) "n/m" 2.0 (Ida.overhead ~m:5 ~n:10);
   Alcotest.(check (float 1e-9)) "no redundancy" 1.0 (Ida.overhead ~m:5 ~n:5)
 
+let test_duplicate_keeps_first () =
+  (* Two pieces share an index but disagree in content: reconstruction
+     must use the FIRST occurrence, deterministically. *)
+  let file = bytes_of_string "first occurrence wins" in
+  let ida = Ida.create ~m:3 in
+  let pieces = Ida.disperse ida ~n:5 file in
+  let forged =
+    { Ida.index = pieces.(1).Ida.index;
+      data = Bytes.map (fun c -> Char.chr (Char.code c lxor 0xff)) pieces.(1).Ida.data }
+  in
+  let len = Bytes.length file in
+  (* genuine piece first: the forged duplicate is ignored *)
+  let back =
+    Ida.reconstruct ida ~length:len
+      [ pieces.(0); pieces.(1); forged; pieces.(2) ]
+  in
+  check_bytes "genuine first" file back;
+  (* forged piece first: it shadows the genuine one and corrupts output *)
+  let bad =
+    Ida.reconstruct ida ~length:len
+      [ pieces.(0); forged; pieces.(1); pieces.(2) ]
+  in
+  Alcotest.(check bool) "forged first corrupts" false (Bytes.equal file bad)
+
+(* Golden dispersal: the wire format must never drift. Expected bytes are
+   pinned literally and re-derived from an independent scalar GF(256)
+   model (carry-less shift-and-xor multiply, Vandermonde row i = powers
+   of 3^i) that shares no code with the library kernels. *)
+let test_golden_dispersal () =
+  let file = bytes_of_string "GOLDEN" in
+  let m = 3 and n = 5 in
+  let golden =
+    [| (0, "\x4e\x45"); (1, "\xd9\xee"); (2, "\x59\xc2"); (3, "\x68\x79");
+       (4, "\x0f\x71") |]
+  in
+  let ida = Ida.create ~m in
+  let pieces = Ida.disperse ida ~n file in
+  Array.iteri
+    (fun i (idx, data) ->
+      Alcotest.(check int) "golden index" idx pieces.(i).Ida.index;
+      check_bytes "golden data" (bytes_of_string data) pieces.(i).Ida.data)
+    golden;
+  (* independent model *)
+  let slow_mul a b =
+    let rec go acc a b =
+      if b = 0 then acc
+      else
+        let acc = if b land 1 = 1 then acc lxor a else acc in
+        let a = a lsl 1 in
+        let a = if a land 0x100 <> 0 then a lxor 0x11b else a in
+        go acc a (b lsr 1)
+    in
+    go 0 (a land 0xff) (b land 0xff)
+  in
+  let pow3 i =
+    let rec go acc k = if k = 0 then acc else go (slow_mul acc 3) (k - 1) in
+    go 1 i
+  in
+  let s = (Bytes.length file + m - 1) / m in
+  let block j i =
+    let off = (j * s) + i in
+    if off < Bytes.length file then Char.code (Bytes.get file off) else 0
+  in
+  Array.iteri
+    (fun i p ->
+      let a = pow3 i in
+      for byte = 0 to s - 1 do
+        let expect = ref 0 in
+        let coeff = ref 1 in
+        for j = 0 to m - 1 do
+          expect := !expect lxor slow_mul !coeff (block j byte);
+          coeff := slow_mul !coeff a
+        done;
+        Alcotest.(check int)
+          (Printf.sprintf "model piece %d byte %d" i byte)
+          !expect
+          (Char.code (Bytes.get p.Ida.data byte))
+      done)
+    pieces
+
+let test_inverse_cache_capped () =
+  let ida = Ida.create ~m:2 in
+  Ida.set_cache_cap ida 3;
+  let file = bytes_of_string "cache cap" in
+  let pieces = Ida.disperse ida ~n:8 file in
+  let len = Bytes.length file in
+  (* touch more distinct subsets than the cap *)
+  for a = 0 to 6 do
+    let subset = [ pieces.(a); pieces.(a + 1) ] in
+    check_bytes "reconstructs" file (Ida.reconstruct ida ~length:len subset)
+  done;
+  Alcotest.(check bool) "cache within cap" true (Ida.cached_inverses ida <= 3);
+  (* capped cache still answers correctly on both hits and misses *)
+  for a = 6 downto 0 do
+    let subset = [ pieces.(a); pieces.(a + 1) ] in
+    check_bytes "reconstructs after eviction" file
+      (Ida.reconstruct ida ~length:len subset)
+  done;
+  Alcotest.(check bool) "still within cap" true (Ida.cached_inverses ida <= 3);
+  Alcotest.check_raises "cap must be positive"
+    (Invalid_argument "Ida.set_cache_cap: cap must be >= 1") (fun () ->
+      Ida.set_cache_cap ida 0)
+
+let test_lru_keeps_hot_entry () =
+  let ida = Ida.create ~m:2 in
+  Ida.set_cache_cap ida 2;
+  let file = bytes_of_string "lru" in
+  let pieces = Ida.disperse ida ~n:6 file in
+  let len = Bytes.length file in
+  let recon a b = ignore (Ida.reconstruct ida ~length:len [ pieces.(a); pieces.(b) ]) in
+  recon 0 1;
+  (* miss *)
+  recon 2 3;
+  (* miss *)
+  recon 0 1;
+  (* hit; re-touches (0,1) so (2,3) is now the LRU victim *)
+  recon 4 5;
+  (* miss, evicts (2,3) *)
+  Alcotest.(check int) "cap held" 2 (Ida.cached_inverses ida);
+  recon 0 1;
+  (* hit: survived the eviction *)
+  Alcotest.(check (pair int int)) "hits/misses" (2, 3) (Ida.cache_stats ida);
+  recon 2 3;
+  (* miss again: it was the evicted entry *)
+  Alcotest.(check (pair int int)) "evicted entry misses" (2, 4)
+    (Ida.cache_stats ida)
+
+let test_transmit_wastes_no_encode_passes () =
+  (* Aida.transmit at capacity c must encode exactly the allocated n
+     pieces — the seed encoded all [capacity] rows and discarded the
+     rest. *)
+  let ida = Ida.create ~m:4 in
+  let file = bytes_of_string "no wasted encode passes" in
+  let before = Ida.encode_passes () in
+  let sent = Aida.transmit ida ~capacity:32 Aida.Important file in
+  let used = Ida.encode_passes () - before in
+  Alcotest.(check int) "m + 2 pieces sent" 6 (Array.length sent);
+  Alcotest.(check int) "exactly n encode passes" 6 used;
+  (* non-real-time: no redundancy, exactly m passes *)
+  let before = Ida.encode_passes () in
+  ignore (Aida.transmit ida ~capacity:32 Aida.Non_real_time file);
+  Alcotest.(check int) "nrt passes" 4 (Ida.encode_passes () - before)
+
+let prop_parallel_matches_sequential =
+  (* The pool path must be byte-identical to the sequential path for both
+     disperse and reconstruct, across the parallel cutoff. *)
+  QCheck2.Test.make ~name:"pool disperse/reconstruct == sequential" ~count:20
+    QCheck2.Gen.(
+      triple (int_range 1 6)
+        (oneofl [ 0; 1; 37; 1024; 40_000 ])
+        (int_bound 1_000_000))
+    (fun (m, len, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let n = m + 2 in
+      let file = Bytes.init len (fun _ -> Char.chr (Random.State.int rng 256)) in
+      let ida = Ida.create ~m in
+      let pool = Pindisk_util.Pool.create ~domains:3 () in
+      Fun.protect
+        ~finally:(fun () -> Pindisk_util.Pool.shutdown pool)
+        (fun () ->
+          let seq = Ida.disperse ida ~n file in
+          let par = Ida.disperse ~pool ida ~n file in
+          let pieces_equal =
+            Array.for_all2
+              (fun a b ->
+                a.Ida.index = b.Ida.index && Bytes.equal a.Ida.data b.Ida.data)
+              seq par
+          in
+          let subset = Array.to_list (Array.sub par (n - m) m) in
+          let seq_back = Ida.reconstruct ida ~length:len subset in
+          let par_back = Ida.reconstruct ~pool ida ~length:len subset in
+          pieces_equal
+          && Bytes.equal seq_back file
+          && Bytes.equal par_back file))
+
 (* qcheck: random files, parameters and subsets *)
 
 let prop_dispersal_linear =
@@ -235,6 +410,11 @@ let () =
           Alcotest.test_case "bad params" `Quick test_bad_params;
           Alcotest.test_case "self-identifying pieces" `Quick test_piece_indices_self_identify;
           Alcotest.test_case "overhead" `Quick test_overhead;
+          Alcotest.test_case "duplicate keeps first occurrence" `Quick
+            test_duplicate_keeps_first;
+          Alcotest.test_case "golden dispersal" `Quick test_golden_dispersal;
+          Alcotest.test_case "inverse cache capped" `Quick test_inverse_cache_capped;
+          Alcotest.test_case "LRU keeps hot entry" `Quick test_lru_keeps_hot_entry;
         ] );
       ( "ida-properties",
         List.map QCheck_alcotest.to_alcotest
@@ -242,6 +422,7 @@ let () =
             prop_roundtrip_random;
             prop_dispersal_linear;
             prop_any_loss_pattern_up_to_redundancy;
+            prop_parallel_matches_sequential;
           ] );
       ( "aida",
         [
@@ -249,5 +430,7 @@ let () =
           Alcotest.test_case "allocate" `Quick test_allocate;
           Alcotest.test_case "profiles" `Quick test_profiles;
           Alcotest.test_case "transmit prefix" `Quick test_transmit_is_prefix_of_dispersal;
+          Alcotest.test_case "transmit wastes no encode passes" `Quick
+            test_transmit_wastes_no_encode_passes;
         ] );
     ]

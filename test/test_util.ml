@@ -165,6 +165,103 @@ let prop_stats_percentiles_monotone =
       && Stats.percentile s 0.0 = Stats.min_value s
       && Stats.percentile s 100.0 = Stats.max_value s)
 
+let test_stats_variance_large_offset () =
+  (* sum_sq/n - mean^2 catastrophically cancels with a 1e9 offset; the
+     two-pass computation must still see the jitter. *)
+  let s = Stats.create () in
+  List.iter (fun j -> Stats.add s (1e9 +. j)) [ 0.0; 1.0; 2.0; 3.0; 4.0 ];
+  Alcotest.(check (float 1e-6)) "offset variance" 2.0 (Stats.variance s);
+  Alcotest.(check (float 1e-6)) "offset mean" 1e9 (Stats.mean s +. (-2.0));
+  (* constant data at a large offset: variance is exactly zero *)
+  let c = Stats.create () in
+  List.iter (fun _ -> Stats.add c 1e9) [ (); (); () ];
+  Alcotest.(check (float 0.0)) "constant variance" 0.0 (Stats.variance c)
+
+(* ------------------------------------------------------------------ *)
+(* mix64                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_mix64_decorrelates () =
+  (* Consecutive inputs must not produce correlated outputs: over seeds
+     s..s+63, low bits of mix64 should not follow the input parity. *)
+  let same = ref 0 in
+  for k = 0 to 63 do
+    if Intmath.mix64 (1000 + k) land 1 = k land 1 then incr same
+  done;
+  check_bool "parity decorrelated" true (!same > 16 && !same < 48);
+  (* injective on a sample window *)
+  let seen = Hashtbl.create 256 in
+  for k = -500 to 500 do
+    Hashtbl.replace seen (Intmath.mix64 k) ()
+  done;
+  check_int "no collisions over 1001 inputs" 1001 (Hashtbl.length seen);
+  (* deterministic and non-negative *)
+  check_int "deterministic" (Intmath.mix64 42) (Intmath.mix64 42);
+  check_bool "non-negative" true (Intmath.mix64 min_int >= 0)
+
+let test_mix64_avalanche () =
+  (* Flipping one input bit should flip roughly half the output bits. *)
+  let popcount x =
+    let rec go acc x = if x = 0 then acc else go (acc + (x land 1)) (x lsr 1) in
+    go 0 x
+  in
+  let total = ref 0 in
+  let trials = 64 in
+  for k = 1 to trials do
+    let a = Intmath.mix64 k and b = Intmath.mix64 (k lxor 1) in
+    total := !total + popcount (a lxor b)
+  done;
+  let avg = float_of_int !total /. float_of_int trials in
+  check_bool
+    (Printf.sprintf "avalanche avg %.1f bits" avg)
+    true
+    (avg > 20.0 && avg < 44.0)
+
+(* ------------------------------------------------------------------ *)
+(* Pool                                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Pool = Pindisk_util.Pool
+
+let test_pool_parallel_for () =
+  let pool = Pool.create ~domains:3 () in
+  check_int "size" 3 (Pool.size pool);
+  let hits = Array.make 1000 0 in
+  Pool.parallel_for pool ~n:1000 (fun i -> hits.(i) <- hits.(i) + 1);
+  check_bool "every index exactly once" true (Array.for_all (( = ) 1) hits);
+  (* reusable across jobs *)
+  let acc = Atomic.make 0 in
+  Pool.parallel_for pool ~n:100 (fun i -> ignore (Atomic.fetch_and_add acc i));
+  check_int "sum 0..99" 4950 (Atomic.get acc);
+  Pool.shutdown pool
+
+let test_pool_single_domain_inline () =
+  let pool = Pool.create ~domains:1 () in
+  check_int "size" 1 (Pool.size pool);
+  let seen = ref [] in
+  Pool.parallel_for pool ~n:5 (fun i -> seen := i :: !seen);
+  Alcotest.(check (list int)) "inline, in order" [ 4; 3; 2; 1; 0 ] !seen;
+  Pool.shutdown pool
+
+let test_pool_exception_propagates () =
+  let pool = Pool.create ~domains:2 () in
+  Alcotest.check_raises "worker exception re-raised" (Failure "boom") (fun () ->
+      Pool.parallel_for pool ~n:10 (fun i -> if i = 7 then failwith "boom"));
+  (* the pool survives a failed job *)
+  let ok = Atomic.make 0 in
+  Pool.parallel_for pool ~n:10 (fun _ -> ignore (Atomic.fetch_and_add ok 1));
+  check_int "pool alive after failure" 10 (Atomic.get ok);
+  Pool.shutdown pool
+
+let test_pool_empty_and_bad () =
+  let pool = Pool.create ~domains:2 () in
+  Pool.parallel_for pool ~n:0 (fun _ -> assert false);
+  Alcotest.check_raises "negative n" (Invalid_argument "Pool.parallel_for: negative count")
+    (fun () -> Pool.parallel_for pool ~n:(-1) (fun _ -> ()));
+  Pool.shutdown pool;
+  Alcotest.check_raises "bad domains" (Invalid_argument "Pool.create: domains must be >= 1")
+    (fun () -> ignore (Pool.create ~domains:0 ()))
+
 (* qcheck properties *)
 
 let small = QCheck2.Gen.int_range (-50) 50
@@ -230,6 +327,24 @@ let () =
           Alcotest.test_case "add after percentile" `Quick test_stats_add_after_percentile;
           Alcotest.test_case "empty" `Quick test_stats_empty;
           Alcotest.test_case "histogram" `Quick test_stats_histogram;
+          Alcotest.test_case "variance at large offset" `Quick
+            test_stats_variance_large_offset;
+        ] );
+      ( "mix64",
+        [
+          Alcotest.test_case "decorrelates consecutive seeds" `Quick
+            test_mix64_decorrelates;
+          Alcotest.test_case "avalanche" `Quick test_mix64_avalanche;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "parallel_for covers every index" `Quick
+            test_pool_parallel_for;
+          Alcotest.test_case "single domain runs inline" `Quick
+            test_pool_single_domain_inline;
+          Alcotest.test_case "exceptions propagate" `Quick
+            test_pool_exception_propagates;
+          Alcotest.test_case "empty and bad inputs" `Quick test_pool_empty_and_bad;
         ] );
       ( "stats-properties",
         List.map QCheck_alcotest.to_alcotest [ prop_stats_percentiles_monotone ] );
