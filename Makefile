@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-tables bench-micro bench-codec examples audit doc clean
+.PHONY: all build test test-metrics bench bench-tables bench-micro bench-codec bench-obs examples audit doc clean
 
 all: build
 
@@ -23,6 +23,18 @@ bench-micro:
 # Quick codec-engine throughput run; writes BENCH_codec.json.
 bench-codec:
 	PINDISK_CODEC_QUICK=1 dune exec bench/main.exe -- e20
+
+# Same codec run with the observability layer force-enabled; writes
+# BENCH_codec_metrics.json so the overhead is the diff of two artifacts.
+bench-obs:
+	PINDISK_CODEC_QUICK=1 PINDISK_METRICS=1 \
+	  PINDISK_CODEC_OUT=BENCH_codec_metrics.json \
+	  dune exec bench/main.exe -- e20
+
+# Full test suite with metrics recording force-enabled (determinism
+# regression: instrumentation must not change any observable output).
+test-metrics:
+	PINDISK_METRICS=1 dune runtest --force
 
 audit:
 	@for design in examples/designs/*.design; do \

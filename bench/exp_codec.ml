@@ -179,6 +179,7 @@ let write_json ~path ~quick ~pool_domains cells =
   out "{\n";
   out "  \"bench\": \"codec\",\n";
   out "  \"mode\": \"%s\",\n" (if quick then "quick" else "full");
+  out "  \"metrics\": %b,\n" (Pindisk_obs.Control.enabled ());
   out "  \"recommended_domains\": %d,\n" (Domain.recommended_domain_count ());
   out "  \"pool_domains\": %d,\n" pool_domains;
   (match headline cells ~pool_domains with
@@ -258,7 +259,16 @@ let run () =
          %d-domain/1-domain %.2fx@."
         speedup pool_domains scaling
   | None -> ());
-  write_json ~path:"BENCH_codec.json" ~quick ~pool_domains cells;
-  Format.printf "  wrote BENCH_codec.json@.";
+  (* PINDISK_CODEC_OUT redirects the artifact so the metrics-overhead run
+     (`make bench-obs`, PINDISK_METRICS=1) does not clobber the baseline
+     BENCH_codec.json numbers. *)
+  let path =
+    Option.value
+      (Sys.getenv_opt "PINDISK_CODEC_OUT")
+      ~default:"BENCH_codec.json"
+  in
+  write_json ~path ~quick ~pool_domains cells;
+  Format.printf "  wrote %s (metrics %s)@." path
+    (if Pindisk_obs.Control.enabled () then "enabled" else "disabled");
   micro ();
   Format.printf "@."

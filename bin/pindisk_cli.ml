@@ -10,6 +10,9 @@
      simulate   -- stochastic retrieval simulation on a program
      adapt      -- static vs closed-loop adaptive server on a scripted
                    time-varying channel
+     stats      -- run a canned deterministic pipeline with the
+                   observability layer enabled and emit the metrics
+                   snapshot as JSON (or re-print a saved snapshot)
 
    File syntax (repeatable -f): NAME:BLOCKS:LATENCY[:TOLERANCE]
    Task syntax (repeatable -t): A/B  (task needs A of every B slots)
@@ -557,6 +560,128 @@ let receive_cmd =
        ~doc:"Reconstruct one file from a broadcast stream on stdin")
     Term.(ret (const (fun () -> run) $ setup_logs $ file $ loss $ seed))
 
+(* ---------------- metrics plumbing ---------------- *)
+
+module Obs = Pindisk_obs
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"PATH"
+        ~doc:
+          "Enable the observability layer for this run and write the final \
+           metrics snapshot (pindisk-metrics v1 JSON) to $(docv).")
+
+let snapshot_string ?minify () =
+  Pindisk_check.Json.to_string ?minify
+    (Pindisk_check.Metrics.snapshot_to_json (Obs.Snapshot.take ()))
+
+(* Enable + reset before the run so the snapshot covers exactly this
+   command; written even when the run itself reports an error, since a
+   partial snapshot is still worth keeping. *)
+let with_metrics metrics f =
+  match metrics with
+  | None -> f ()
+  | Some path ->
+      Obs.Control.set_enabled true;
+      Obs.Snapshot.reset ();
+      let result = f () in
+      let oc = open_out path in
+      output_string oc (snapshot_string ());
+      close_out oc;
+      result
+
+(* ---------------- stats ---------------- *)
+
+let stats_cmd =
+  (* A small, fully seeded end-to-end exercise of the broadcast pipeline —
+     designer output, engine workload, IDA transport retrievals — so every
+     instrumented layer contributes counters, histograms and trace events.
+     Deterministic: the emitted snapshot is byte-stable across runs, which
+     the cram test relies on. *)
+  let canned () =
+    let files =
+      [
+        File_spec.make ~name:"alerts" ~id:0 ~blocks:2 ~latency:8 ~tolerance:1 ();
+        File_spec.make ~name:"map" ~id:1 ~blocks:4 ~latency:16 ~tolerance:0 ();
+      ]
+    in
+    match Program.auto files with
+    | None -> fail "internal: canned stats workload not schedulable"
+    | Some (b, program) ->
+        let spec id = List.nth files id in
+        let trace =
+          Pindisk_sim.Workload.generate ~program ~rate:0.05 ~theta:0.9
+            ~needed_of:(fun id -> (spec id).File_spec.blocks)
+            ~deadline_of:(fun id -> File_spec.window (spec id) ~bandwidth:b)
+            ~horizon:500 ~seed:3
+        in
+        ignore
+          (Pindisk_sim.Engine.run ~program
+             ~fault:(fun ~seed -> Pindisk_sim.Fault.bernoulli ~p:0.1 ~seed)
+             ~seed:5 trace);
+        let content id len =
+          Bytes.init len (fun i -> Char.chr (((id * 31) + (i * 7) + 3) land 0xff))
+        in
+        let transport =
+          Pindisk_sim.Transport.create ~program
+            [ (0, 2, content 0 96); (1, 4, content 1 200) ]
+        in
+        List.iter
+          (fun file ->
+            ignore
+              (Pindisk_sim.Transport.retrieve transport ~file ~start:0
+                 ~fault:(Pindisk_sim.Fault.bernoulli ~p:0.2 ~seed:(9 + file))
+                 ()))
+          [ 0; 1 ];
+        `Ok ()
+  in
+  let run check minify =
+    match check with
+    | Some path -> (
+        let contents =
+          let ic = open_in_bin path in
+          Fun.protect
+            ~finally:(fun () -> close_in ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+        in
+        match Pindisk_check.Metrics.snapshot_of_string contents with
+        | Error e -> fail "%s: %s" path e
+        | Ok snap ->
+            print_string
+              (Pindisk_check.Json.to_string ~minify
+                 (Pindisk_check.Metrics.snapshot_to_json snap));
+            `Ok ())
+    | None -> (
+        Obs.Control.set_enabled true;
+        Obs.Snapshot.reset ();
+        match canned () with
+        | `Ok () ->
+            print_string (snapshot_string ~minify ());
+            `Ok ()
+        | err -> err)
+  in
+  let check =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "check" ] ~docv:"SNAPSHOT"
+          ~doc:
+            "Instead of running, parse a previously written metrics snapshot \
+             and re-print it (a lossless round-trip: output is byte-identical \
+             to what $(b,pindisk stats) or $(b,--metrics) emitted).")
+  in
+  let minify =
+    Arg.(value & flag & info [ "minify" ] ~doc:"Single-line JSON output.")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Exercise the pipeline with the observability layer enabled and \
+          print the metrics snapshot as JSON")
+    Term.(ret (const (fun () -> run) $ setup_logs $ check $ minify))
+
 (* ---------------- adapt ---------------- *)
 
 (* Closed-loop adaptive degradation demo: a static AIDA server and the
@@ -581,7 +706,8 @@ let adapt_cmd =
         | _ -> Error (Printf.sprintf "bad phase %S (want LEN:RATE, rate <= 0.75)" s))
     | _ -> Error (Printf.sprintf "bad phase %S (want LEN:RATE)" s)
   in
-  let run phases rate seed bucket =
+  let run phases rate seed bucket metrics =
+    with_metrics metrics @@ fun () ->
     let phases = if phases = [] then [ "4000:0.01"; "6000:0.4"; "6000:0.01" ] else phases in
     if rate <= 0.0 then fail "request rate must be positive"
     else if bucket < 1 then fail "bucket must be >= 1"
@@ -693,12 +819,16 @@ let adapt_cmd =
   Cmd.v
     (Cmd.info "adapt"
        ~doc:"Closed-loop adaptive degradation vs a static server")
-    Term.(ret (const (fun () -> run) $ setup_logs $ phases $ rate $ seed $ bucket))
+    Term.(
+      ret
+        (const (fun () -> run)
+        $ setup_logs $ phases $ rate $ seed $ bucket $ metrics_arg))
 
 (* ---------------- simulate ---------------- *)
 
 let simulate_cmd =
-  let run files loss trials seed =
+  let run files loss trials seed metrics =
+    with_metrics metrics @@ fun () ->
     match collect parse_file files with
     | Error e -> fail "%s" e
     | Ok files -> (
@@ -730,7 +860,10 @@ let simulate_cmd =
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Stochastic retrieval simulation")
-    Term.(ret (const (fun () -> run) $ setup_logs $ files_arg $ loss $ trials $ seed))
+    Term.(
+      ret
+        (const (fun () -> run)
+        $ setup_logs $ files_arg $ loss $ trials $ seed $ metrics_arg))
 
 let () =
   let info =
@@ -747,6 +880,7 @@ let () =
             convert_cmd;
             simulate_cmd;
             adapt_cmd;
+            stats_cmd;
             analyze_cmd;
             export_cmd;
             inspect_cmd;

@@ -1,3 +1,9 @@
+module Obs = Pindisk_obs
+
+let obs_decisions = Obs.Registry.counter "adapt.decisions"
+let obs_transitions = Obs.Registry.counter "adapt.transitions"
+let obs_boost = Obs.Registry.gauge "adapt.boost"
+
 type t = {
   estimator : Estimator.t;
   policy : Policy.t;
@@ -26,10 +32,11 @@ let tick t slot = Swap.tick t.swap slot
 let report t ~lost = Estimator.observe t.estimator ~lost
 
 let decide t ~slot =
-  ignore slot;
   let w = Estimator.windows t.estimator in
   if w - t.last_window >= t.decision_windows then begin
     t.last_window <- w;
+    let obs = Obs.Control.enabled () in
+    if obs then Obs.Registry.incr obs_decisions;
     let e = Estimator.estimate t.estimator in
     match Policy.observe t.policy e with
     | None -> ()
@@ -37,12 +44,16 @@ let decide t ~slot =
         let level = (Policy.levels t.policy).(idx) in
         let plan = Ladder.plan t.ladder ~boost:level.Policy.boost in
         t.plan <- plan;
+        if obs then begin
+          Obs.Registry.incr obs_transitions;
+          Obs.Registry.set obs_boost level.Policy.boost
+        end;
         let cause =
           Format.asprintf "loss estimate %.3f -> level %s (boost %d, %a)" e
             level.Policy.name level.Policy.boost Ladder.pp_rung
             plan.Ladder.rung
         in
-        Swap.stage t.swap ~cause plan.Ladder.program
+        Swap.stage ~slot t.swap ~cause plan.Ladder.program
   end
 
 let block_at t slot = Swap.block_at t.swap slot

@@ -1,5 +1,9 @@
 module Program = Pindisk.Program
 module Codec = Pindisk.Codec
+module Obs = Pindisk_obs
+
+let obs_swaps = Obs.Registry.counter "adapt.swaps"
+let obs_swap_wait = Obs.Registry.histogram "adapt.swap.wait"
 
 type boundary = Period | Data_cycle
 
@@ -26,12 +30,13 @@ type t = {
   mutable live_digest : string;
   mutable staged : (Program.t * string * string) option;
       (* program, digest, cause *)
+  mutable staged_at : int option; (* slot the staging was decided, if told *)
   mutable log : entry list; (* newest first *)
 }
 
 let create ?(boundary = Period) ?(slot = 0) program =
   { boundary; program; origin = slot; live_digest = digest program;
-    staged = None; log = [] }
+    staged = None; staged_at = None; log = [] }
 
 let cycle t =
   match t.boundary with
@@ -45,9 +50,19 @@ let block_at t slot =
   if slot < t.origin then invalid_arg "Swap.block_at: slot before origin";
   Program.block_at t.program (slot - t.origin)
 
-let stage t ~cause p =
+let stage ?slot t ~cause p =
   let d = digest p in
-  if d = t.live_digest then t.staged <- None else t.staged <- Some (p, d, cause)
+  if d = t.live_digest then begin
+    t.staged <- None;
+    t.staged_at <- None
+  end
+  else begin
+    (* Re-staging keeps the original decision slot: the wait metric below
+       measures decision-to-installation latency, and a controller revising
+       its plan mid-wait is still the same pending decision. *)
+    t.staged <- Some (p, d, cause);
+    if t.staged_at = None then t.staged_at <- slot
+  end
 
 let pending t = t.staged <> None
 
@@ -65,6 +80,14 @@ let tick t slot =
         t.origin <- slot;
         t.live_digest <- d;
         t.staged <- None;
+        if Obs.Control.enabled () then begin
+          Obs.Registry.incr obs_swaps;
+          (match t.staged_at with
+          | Some s when s <= slot -> Obs.Histogram.observe obs_swap_wait (slot - s)
+          | _ -> ());
+          Obs.Trace.record (Obs.Trace.Hot_swap { slot; cause })
+        end;
+        t.staged_at <- None;
         t.log <- entry :: t.log;
         Some entry
       end

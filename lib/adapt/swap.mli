@@ -58,10 +58,13 @@ val block_at : t -> int -> (int * int) option
 (** The block on air at an absolute slot [>= origin]: the live program
     phase-shifted to its installation slot. *)
 
-val stage : t -> cause:string -> Pindisk.Program.t -> unit
+val stage : ?slot:int -> t -> cause:string -> Pindisk.Program.t -> unit
 (** Stage a replacement, overwriting any previous staging. Staging a
     program equal (by {!digest}) to the live one cancels the pending swap
-    instead. *)
+    instead. [slot], when given, records the slot the decision was made;
+    the observability layer reports the decision-to-installation wait as
+    the [adapt.swap.wait] histogram (re-staging before the boundary keeps
+    the original decision slot). *)
 
 val pending : t -> bool
 

@@ -2,6 +2,7 @@ type t =
   | Null
   | Bool of bool
   | Int of int
+  | Float of float
   | Str of string
   | List of t list
   | Obj of (string * t) list
@@ -26,6 +27,30 @@ let escape buf s =
     s;
   Buffer.add_char buf '"'
 
+(* Lossless float rendering: the shortest of %.15g/%.16g/%.17g that reads
+   back as the same float, forced to contain '.' or an exponent so the
+   parser returns [Float] (never [Int]) for it. Deterministic in the
+   float value, so print -> parse -> print is byte-stable. *)
+let float_repr f =
+  if not (Float.is_finite f) then
+    invalid_arg "Json.to_string: NaN and infinities have no JSON form";
+  let shortest =
+    let exact p =
+      let s = Printf.sprintf "%.*g" p f in
+      if float_of_string s = f then Some s else None
+    in
+    match exact 15 with
+    | Some s -> s
+    | None -> (
+        match exact 16 with Some s -> s | None -> Printf.sprintf "%.17g" f)
+  in
+  if
+    String.exists
+      (fun c -> c = '.' || c = 'e' || c = 'E')
+      shortest
+  then shortest
+  else shortest ^ ".0"
+
 let to_string ?(minify = false) json =
   let buf = Buffer.create 256 in
   let indent n =
@@ -38,6 +63,7 @@ let to_string ?(minify = false) json =
     | Null -> Buffer.add_string buf "null"
     | Bool b -> Buffer.add_string buf (if b then "true" else "false")
     | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f -> Buffer.add_string buf (float_repr f)
     | Str s -> escape buf s
     | List [] -> Buffer.add_string buf "[]"
     | List items ->
@@ -101,17 +127,40 @@ let of_string s =
     end
     else fail (Printf.sprintf "expected %s" word)
   in
-  let parse_int () =
+  let parse_number () =
     let start = !pos in
+    let digits () =
+      let d0 = !pos in
+      while !pos < n && match s.[!pos] with '0' .. '9' -> true | _ -> false do
+        advance ()
+      done;
+      if !pos = d0 then fail "expected a digit"
+    in
     if peek () = Some '-' then advance ();
-    while !pos < n && match s.[!pos] with '0' .. '9' -> true | _ -> false do
-      advance ()
-    done;
-    if !pos < n && (s.[!pos] = '.' || s.[!pos] = 'e' || s.[!pos] = 'E') then
-      fail "floating-point numbers are not supported";
-    match int_of_string_opt (String.sub s start (!pos - start)) with
-    | Some i -> Int i
-    | None -> fail "bad number"
+    digits ();
+    let is_float = ref false in
+    if peek () = Some '.' then begin
+      is_float := true;
+      advance ();
+      digits ()
+    end;
+    (match peek () with
+    | Some ('e' | 'E') ->
+        is_float := true;
+        advance ();
+        (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+        digits ()
+    | _ -> ());
+    let lexeme = String.sub s start (!pos - start) in
+    if !is_float then
+      match float_of_string_opt lexeme with
+      | Some f when Float.is_finite f -> Float f
+      | Some _ -> fail "number overflows a float"
+      | None -> fail "bad number"
+    else
+      match int_of_string_opt lexeme with
+      | Some i -> Int i
+      | None -> fail "bad number"
   in
   let parse_string () =
     expect '"';
@@ -162,7 +211,7 @@ let of_string s =
     | Some 't' -> literal "true" (Bool true)
     | Some 'f' -> literal "false" (Bool false)
     | Some '"' -> Str (parse_string ())
-    | Some ('-' | '0' .. '9') -> parse_int ()
+    | Some ('-' | '0' .. '9') -> parse_number ()
     | Some '[' ->
         advance ();
         skip_ws ();
@@ -231,6 +280,12 @@ let of_string s =
 
 let member k = function Obj fields -> List.assoc_opt k fields | _ -> None
 let to_int = function Int i -> Ok i | _ -> Error "expected an integer"
+
+let to_float = function
+  | Float f -> Ok f
+  | Int i -> Ok (float_of_int i)
+  | _ -> Error "expected a number"
+
 let to_str = function Str s -> Ok s | _ -> Error "expected a string"
 let to_list = function List l -> Ok l | _ -> Error "expected a list"
 
@@ -243,5 +298,6 @@ let get conv k j =
       | Error e -> Error (Printf.sprintf "field %S: %s" k e))
 
 let get_int k j = get to_int k j
+let get_float k j = get to_float k j
 let get_str k j = get to_str k j
 let get_list k j = get to_list k j

@@ -322,11 +322,20 @@ let fused4 ~dst1 ~dst2 ~dst3 ~dst4 ~t1 ~t2 ~t3 ~t4 ~src ~stride =
     Bytes.unsafe_set dst4 i (Char.unsafe_chr !a4)
   end
 
+(* Observability handles: one atomic bump per bulk entry point, never per
+   byte, and only when the metrics flag is up — the kernels stay clean. *)
+let obs_encode_calls = Pindisk_obs.Registry.counter "gf256.encode_rows.calls"
+let obs_encode_bytes = Pindisk_obs.Registry.counter "gf256.encode_rows.bytes"
+
 let encode_rows ~dsts ~rows ~src ~stride =
   let g = Array.length dsts in
   if Array.length rows <> g then invalid_arg "Gf256.encode_rows: arity mismatch";
   if g > 0 then begin
     let n = Bytes.length dsts.(0) in
+    if Pindisk_obs.Control.enabled () then begin
+      Pindisk_obs.Registry.incr obs_encode_calls;
+      Pindisk_obs.Registry.add obs_encode_bytes (g * n)
+    end;
     Array.iter
       (fun d ->
         if Bytes.length d <> n then

@@ -1,6 +1,19 @@
 module Gf256 = Pindisk_gf256.Gf256
 module Matrix = Pindisk_gf256.Matrix
 module Pool = Pindisk_util.Pool
+module Obs = Pindisk_obs
+
+(* Observability handles, registered once at module init. [obs_groups] is
+   bumped inside the task closures, i.e. from whichever domain runs the
+   group — exactly the cross-domain pattern the sharded counters exist
+   for (and what the parallel-correctness test exercises). *)
+let obs_disperse_calls = Obs.Registry.counter "ida.disperse.calls"
+let obs_disperse_bytes = Obs.Registry.counter "ida.disperse.bytes"
+let obs_reconstruct_calls = Obs.Registry.counter "ida.reconstruct.calls"
+let obs_reconstruct_bytes = Obs.Registry.counter "ida.reconstruct.bytes"
+let obs_encode_groups = Obs.Registry.counter "ida.encode.groups"
+let obs_cache_hits = Obs.Registry.counter "ida.cache.hits"
+let obs_cache_misses = Obs.Registry.counter "ida.cache.misses"
 
 type piece = { index : int; data : bytes }
 
@@ -82,10 +95,16 @@ let disperse ?pool t ~n file =
   for i = 0 to n - 1 do
     Gf256.ensure_tables t.rows.(i)
   done;
+  let obs = Obs.Control.enabled () in
+  if obs then begin
+    Obs.Registry.incr obs_disperse_calls;
+    Obs.Registry.add obs_disperse_bytes (n * s)
+  end;
   (* Each task encodes a group of [row_group] pieces in one fused pass
      over the source units (see [Gf256.encode_rows]). *)
   let groups = (n + row_group - 1) / row_group in
   run_tasks pool ~work:(n * s * t.m) ~n:groups (fun g ->
+      if obs then Obs.Registry.incr obs_encode_groups;
       let lo = g * row_group in
       let width = min row_group (n - lo) in
       Gf256.encode_rows
@@ -113,10 +132,12 @@ let inverse_for t indices =
   match Hashtbl.find_opt t.inverses key with
   | Some e ->
       t.cache_hits <- t.cache_hits + 1;
+      if Obs.Control.enabled () then Obs.Registry.incr obs_cache_hits;
       e.last_use <- t.clock;
       e
   | None -> (
       t.cache_misses <- t.cache_misses + 1;
+      if Obs.Control.enabled () then Obs.Registry.incr obs_cache_misses;
       let sub = Matrix.select_rows t.dispersal indices in
       match Matrix.invert sub with
       | None ->
@@ -183,8 +204,14 @@ let reconstruct ?pool t ~length pieces =
   Array.iteri (fun k p -> Bytes.blit p.data 0 gathered (k * s) s) chosen;
   let blocks = Array.init t.m (fun _ -> Bytes.create s) in
   Array.iter Gf256.ensure_tables entry.inv_rows;
+  let obs = Obs.Control.enabled () in
+  if obs then begin
+    Obs.Registry.incr obs_reconstruct_calls;
+    Obs.Registry.add obs_reconstruct_bytes (t.m * s)
+  end;
   let groups = (t.m + row_group - 1) / row_group in
   run_tasks pool ~work:(t.m * s * t.m) ~n:groups (fun g ->
+      if obs then Obs.Registry.incr obs_encode_groups;
       let lo = g * row_group in
       let width = min row_group (t.m - lo) in
       Gf256.encode_rows

@@ -1,0 +1,20 @@
+(* The static enable flag every instrumentation site checks before doing
+   any work. A single atomic read (a plain load on x86) keeps disabled
+   instrumentation effectively free; sites additionally hoist the check
+   out of their inner loops so the per-byte kernels carry nothing. *)
+
+let flag =
+  let from_env =
+    match Sys.getenv_opt "PINDISK_METRICS" with
+    | Some ("1" | "true" | "yes" | "on") -> true
+    | Some _ | None -> false
+  in
+  Atomic.make from_env
+
+let enabled () = Atomic.get flag
+let set_enabled b = Atomic.set flag b
+
+let with_enabled b f =
+  let old = Atomic.get flag in
+  Atomic.set flag b;
+  Fun.protect ~finally:(fun () -> Atomic.set flag old) f

@@ -1,0 +1,21 @@
+(** The observability master switch.
+
+    Instrumentation across the pipeline is gated on {!enabled}: when the
+    flag is off, an instrumented hot path pays exactly one atomic load
+    per coarse-grained operation (per codec call, per retrieval — never
+    per byte or per slot inside an inner loop). The flag starts from the
+    [PINDISK_METRICS] environment variable ([1]/[true]/[yes]/[on]
+    enable), so a whole test run can be forced metrics-on without code
+    changes. *)
+
+val enabled : unit -> bool
+(** Whether metrics and tracing are being recorded. *)
+
+val set_enabled : bool -> unit
+(** Flip the switch. Takes effect for subsequent operations; toggling
+    while worker domains are mid-job is safe (they may record a few
+    more or fewer events, never corrupt state). *)
+
+val with_enabled : bool -> (unit -> 'a) -> 'a
+(** [with_enabled b f] runs [f] with the switch set to [b] and restores
+    the previous state afterwards, exceptions included. *)

@@ -1,0 +1,47 @@
+(** The process-wide metrics registry: named counters, gauges and
+    histograms.
+
+    Counters are {e sharded}: one cache-padded atomic slot per (hashed)
+    domain, incremented with a fetch-and-add on the calling domain's own
+    slot and merged by summing on read. Increments from {!Pindisk_util.Pool}
+    workers therefore never contend, and no increment is ever lost —
+    the sum over shards is exact. Gauges are single last-write-wins
+    atomics. Histograms are registered here for snapshotting but are
+    single-domain structures (see {!Histogram}).
+
+    Handles are interned by name: the same name always returns the same
+    metric, and {!reset} zeroes metrics {e in place}, so handles taken
+    once at module initialization survive resets. Creation takes a lock;
+    increments are lock-free. *)
+
+type counter
+type gauge
+
+val counter : string -> counter
+(** Find or create. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+
+val counter_value : counter -> int
+(** Sum over all shards. Exact once writers have quiesced (e.g. after a
+    [Pool.parallel_for] returns); may read mid-increment values while
+    other domains are actively counting. *)
+
+val gauge : string -> gauge
+val set : gauge -> int -> unit
+val gauge_value : gauge -> int
+
+val histogram : string -> Histogram.t
+(** Find or create a registered histogram. *)
+
+(** {1 Enumeration} (used by {!Snapshot}) *)
+
+val counters : unit -> (string * int) list
+(** Sorted by name. *)
+
+val gauges : unit -> (string * int) list
+val histograms : unit -> (string * Histogram.t) list
+
+val reset : unit -> unit
+(** Zero every registered metric in place. Existing handles stay valid. *)

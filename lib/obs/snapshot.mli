@@ -1,0 +1,47 @@
+(** Immutable captures of the registry and tracer, with interval diffs.
+
+    A snapshot is plain data — every field is public so serializers
+    (e.g. [Pindisk_check.Metrics], which renders snapshots through the
+    audit subsystem's JSON tree) and tests can build and inspect them
+    without this library growing a serialization dependency. *)
+
+type hist = {
+  count : int;
+  sum : int;
+  lo : int;  (** observed minimum (bucket-resolution after {!diff}); 0 when empty *)
+  hi : int;  (** observed maximum (bucket-resolution after {!diff}); 0 when empty *)
+  buckets : (int * int) list;
+      (** sparse non-zero [(bucket index, count)], ascending; indices are
+          {!Histogram.bucket_of} indices *)
+}
+
+type t = {
+  tick : int;  (** tracer tick at capture time *)
+  counters : (string * int) list;  (** sorted by name *)
+  gauges : (string * int) list;
+  histograms : (string * hist) list;
+  events : Trace.event list;  (** buffered trace, oldest first *)
+}
+
+val take : unit -> t
+(** Capture the global registry and tracer. Exact when writers have
+    quiesced (counters merge their shards on read). *)
+
+val reset : unit -> unit
+(** [Registry.reset] + [Trace.reset] in one call: the conventional
+    prologue before an instrumented run. *)
+
+val diff : t -> t -> t
+(** [diff later earlier]: counter and histogram deltas for interval
+    reporting. Gauges keep [later]'s value; events are [later]'s with
+    ticks after [earlier.tick]; a histogram delta's [lo]/[hi] are
+    bucket-resolution bounds (exact minima are not subtractable). *)
+
+val mean : hist -> float
+(** [sum / count]; [0.0] when empty. *)
+
+val quantile : hist -> float -> int
+(** Same estimator as {!Histogram.quantile}, over the sparse buckets. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable multi-line rendering. *)

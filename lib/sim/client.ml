@@ -1,4 +1,11 @@
 module Program = Pindisk.Program
+module Obs = Pindisk_obs
+
+let obs_requests = Obs.Registry.counter "sim.client.requests"
+let obs_completed = Obs.Registry.counter "sim.client.completed"
+let obs_receptions = Obs.Registry.counter "sim.client.receptions"
+let obs_losses = Obs.Registry.counter "sim.client.losses"
+let obs_wait = Obs.Registry.histogram "sim.client.wait"
 
 type outcome = {
   completed_at : int option;
@@ -33,6 +40,18 @@ let retrieve ?max_slots ?report ~program ~file ~needed ~start ~fault () =
     | None -> 100 * Program.data_cycle program
   in
   Fault.reset_to fault start;
+  let obs = Obs.Control.enabled () in
+  if obs then Obs.Registry.incr obs_requests;
+  (* Fault bursts: runs of >= 2 consecutive lost busy slots, traced as one
+     span anchored at the run's first slot. Flushed on the next delivered
+     busy slot and once more at the end of the retrieval window. *)
+  let burst_start = ref 0 and burst_len = ref 0 in
+  let flush_burst () =
+    if obs && !burst_len >= 2 then
+      Obs.Trace.record
+        (Obs.Trace.Fault_burst { slot = !burst_start; length = !burst_len });
+    burst_len := 0
+  in
   let collected = Hashtbl.create 16 in
   let receptions = ref 0 and losses = ref 0 in
   let result = ref None in
@@ -46,6 +65,11 @@ let retrieve ?max_slots ?report ~program ~file ~needed ~start ~fault () =
         (match report with
         | Some fn -> fn ~slot:!t ~file:f ~lost
         | None -> ());
+        if lost then begin
+          if !burst_len = 0 then burst_start := !t;
+          incr burst_len
+        end
+        else flush_burst ();
         if f = file then
           if lost then incr losses
           else begin
@@ -56,8 +80,17 @@ let retrieve ?max_slots ?report ~program ~file ~needed ~start ~fault () =
     | None -> ());
     incr t
   done;
+  flush_burst ();
+  if obs then begin
+    Obs.Registry.add obs_receptions !receptions;
+    Obs.Registry.add obs_losses !losses
+  end;
   match !result with
   | Some slot ->
+      if obs then begin
+        Obs.Registry.incr obs_completed;
+        Obs.Histogram.observe obs_wait (slot - start + 1)
+      end;
       {
         completed_at = Some slot;
         elapsed = Some (slot - start + 1);

@@ -1,4 +1,17 @@
 module Stats = Pindisk_util.Stats
+module Obs = Pindisk_obs
+
+let obs_requests = Obs.Registry.counter "engine.requests"
+let obs_completed = Obs.Registry.counter "engine.completed"
+let obs_missed = Obs.Registry.counter "engine.missed"
+let obs_losses = Obs.Registry.counter "engine.losses"
+let obs_wait = Obs.Registry.histogram "engine.wait"
+
+(* Per-file wait histograms and miss counters, interned by name so they
+   mirror [file_stats] one-to-one; the reconciliation test asserts the
+   aggregates agree exactly with the returned result. *)
+let obs_file_wait f = Obs.Registry.histogram (Printf.sprintf "engine.wait.%d" f)
+let obs_file_miss f = Obs.Registry.counter (Printf.sprintf "engine.miss.%d" f)
 
 type file_stats = {
   file : int;
@@ -37,6 +50,7 @@ let run ?max_slots ~program ~fault ~seed trace =
         Hashtbl.add per_file f e;
         e
   in
+  let obs = Obs.Control.enabled () in
   let completed = ref 0 and missed = ref 0 and losses = ref 0 in
   List.iteri
     (fun k (r : Workload.request) ->
@@ -48,19 +62,29 @@ let run ?max_slots ~program ~fault ~seed trace =
       let reqs, miss, lat = file_entry r.Workload.file in
       incr reqs;
       losses := !losses + outcome.Client.losses;
+      if obs then Obs.Registry.incr obs_requests;
+      let record_miss () =
+        incr missed;
+        incr miss;
+        if obs then begin
+          Obs.Registry.incr obs_missed;
+          Obs.Registry.incr (obs_file_miss r.Workload.file)
+        end
+      in
       match outcome.Client.elapsed with
       | Some e ->
           incr completed;
           Stats.add_int global e;
           Stats.add_int lat e;
-          if e > r.Workload.deadline then begin
-            incr missed;
-            incr miss
-          end
-      | None ->
-          incr missed;
-          incr miss)
+          if obs then begin
+            Obs.Registry.incr obs_completed;
+            Obs.Histogram.observe obs_wait e;
+            Obs.Histogram.observe (obs_file_wait r.Workload.file) e
+          end;
+          if e > r.Workload.deadline then record_miss ()
+      | None -> record_miss ())
     trace;
+  if obs then Obs.Registry.add obs_losses !losses;
   {
     requests = List.length trace;
     completed = !completed;

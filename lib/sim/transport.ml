@@ -1,5 +1,10 @@
 module Program = Pindisk.Program
 module Ida = Pindisk_ida.Ida
+module Obs = Pindisk_obs
+
+let obs_requests = Obs.Registry.counter "sim.transport.requests"
+let obs_reconstructs = Obs.Registry.counter "sim.transport.reconstructs"
+let obs_wait = Obs.Registry.histogram "sim.transport.wait"
 
 type stored = {
   m : int;
@@ -42,7 +47,9 @@ let on_air t slot =
   | None -> None
   | Some (file, idx) ->
       let s = Hashtbl.find t.store file in
-      Some (file, s.pieces.(idx))
+      let piece = s.pieces.(idx) in
+      Obs.Trace.record (Obs.Trace.Slot { slot; file; index = piece.Ida.index });
+      Some (file, piece)
 
 let source_blocks t file =
   match Hashtbl.find_opt t.store file with
@@ -62,6 +69,8 @@ let retrieve ?max_slots ?report t ~file ~start ~fault () =
     | None -> 100 * Program.data_cycle t.program
   in
   Fault.reset_to fault start;
+  let obs = Obs.Control.enabled () in
+  if obs then Obs.Registry.incr obs_requests;
   let collected = Hashtbl.create 16 in
   let slot = ref start in
   let result = ref None in
@@ -75,9 +84,17 @@ let retrieve ?max_slots ?report t ~file ~start ~fault () =
         if f = file && not lost then
           if not (Hashtbl.mem collected piece.Ida.index) then begin
             Hashtbl.replace collected piece.Ida.index piece;
-            if Hashtbl.length collected >= s.m then
+            if Hashtbl.length collected >= s.m then begin
               let pieces = Hashtbl.fold (fun _ p acc -> p :: acc) collected [] in
-              result := Some (Ida.reconstruct s.ida ~length:s.length pieces)
+              result := Some (Ida.reconstruct s.ida ~length:s.length pieces);
+              if obs then begin
+                Obs.Registry.incr obs_reconstructs;
+                Obs.Histogram.observe obs_wait (!slot - start + 1);
+                Obs.Trace.record
+                  (Obs.Trace.Reconstruct
+                     { file; pieces = s.m; bytes = s.length })
+              end
+            end
           end
     | None -> ());
     incr slot

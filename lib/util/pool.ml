@@ -91,14 +91,33 @@ let create ?domains () =
     Array.init (domains - 1) (fun _ -> Domain.spawn (fun () -> worker t));
   t
 
+(* Observability handles (registered once): jobs submitted, tasks run
+   inline vs fanned out to workers, and the pool width the last fan-out
+   actually used — the "pool fan-out" metric the codec paths expose. *)
+let obs_jobs = Pindisk_obs.Registry.counter "pool.jobs"
+let obs_inline = Pindisk_obs.Registry.counter "pool.tasks.inline"
+let obs_fanned = Pindisk_obs.Registry.counter "pool.tasks.fanned"
+let obs_fanout = Pindisk_obs.Registry.gauge "pool.fanout"
+
 let parallel_for t ~n f =
   if n < 0 then invalid_arg "Pool.parallel_for: negative count";
-  if n > 0 then
-    if Array.length t.workers = 0 || n = 1 then
+  if n > 0 then begin
+    let obs = Pindisk_obs.Control.enabled () in
+    if obs then Pindisk_obs.Registry.incr obs_jobs;
+    if Array.length t.workers = 0 || n = 1 then begin
+      if obs then begin
+        Pindisk_obs.Registry.add obs_inline n;
+        Pindisk_obs.Registry.set obs_fanout 1
+      end;
       for i = 0 to n - 1 do
         f i
       done
+    end
     else begin
+      if obs then begin
+        Pindisk_obs.Registry.add obs_fanned n;
+        Pindisk_obs.Registry.set obs_fanout (size t)
+      end;
       let job =
         {
           run = f;
@@ -129,6 +148,7 @@ let parallel_for t ~n f =
       Mutex.unlock job.job_lock;
       match job.error with Some e -> raise e | None -> ()
     end
+  end
 
 let shutdown t =
   Mutex.lock t.lock;

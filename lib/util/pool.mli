@@ -25,7 +25,12 @@ val parallel_for : t -> n:int -> (int -> unit) -> unit
     caller participates, so the call makes progress even if every worker
     is busy with another job. If any [f i] raises, the first exception is
     re-raised in the caller after remaining indices are drained (they may
-    be skipped). [f] must be safe to call from multiple domains. *)
+    be skipped). [f] must be safe to call from multiple domains.
+
+    When {!Pindisk_obs.Control.enabled} is up, each call counts one
+    [pool.jobs], classifies its [n] tasks as [pool.tasks.inline] (run as
+    a plain loop) or [pool.tasks.fanned] (published to workers), and
+    records the participating domain count in the [pool.fanout] gauge. *)
 
 val shutdown : t -> unit
 (** Terminates and joins the worker domains. Subsequent {!parallel_for}

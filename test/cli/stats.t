@@ -1,0 +1,44 @@
+The observability layer end to end. `pindisk stats` runs a canned,
+fully seeded pipeline (designer, engine workload, IDA transport
+retrievals) with metrics enabled and prints the snapshot as JSON:
+
+  $ pindisk stats > snap.json
+  $ grep -o '"schema": "pindisk-metrics v1"' snap.json
+  "schema": "pindisk-metrics v1"
+
+The canned run is deterministic, so its counters are stable goldens —
+every layer of the pipeline contributed:
+
+  $ grep -o '"ida.reconstruct.calls": [0-9]*' snap.json
+  "ida.reconstruct.calls": 2
+  $ grep -o '"engine.requests": [0-9]*' snap.json
+  "engine.requests": 16
+  $ grep -co '"span": "slot"' snap.json
+  12
+  $ grep -o '"span": "reconstruct"' snap.json | sort -u
+  "span": "reconstruct"
+
+Parsing a saved snapshot back and re-printing it is byte-lossless
+(the round trip the Check.Json float/string emitters guarantee):
+
+  $ pindisk stats --check snap.json > reprint.json
+  $ cmp snap.json reprint.json
+
+Same through the single-line rendering:
+
+  $ pindisk stats --minify > mini.json
+  $ pindisk stats --check mini.json --minify > mini2.json
+  $ cmp mini.json mini2.json
+
+The --metrics flag on existing subcommands captures that run's
+snapshot to a file, parseable under the same schema:
+
+  $ pindisk simulate -f news:4:10:1 --trials 3 --metrics met.json > /dev/null
+  $ pindisk stats --check met.json > /dev/null
+
+Corrupted snapshots are rejected with a located reason:
+
+  $ echo '{"schema": "pindisk-metrics v9"}' > bad.json
+  $ pindisk stats --check bad.json
+  pindisk: bad.json: unsupported schema "pindisk-metrics v9" (want "pindisk-metrics v1")
+  [124]

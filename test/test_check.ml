@@ -380,7 +380,12 @@ let test_json_parser () =
             List [ Int 1; Int (-2); Obj [ ("b", Str "x\n\"y") ] ] );
           ("c", Null);
         ]);
-  bad "1.5";
+  check_bool "float literal" true (ok "1.5" = Json.Float 1.5);
+  check_bool "exponent literal" true (ok "2e3" = Json.Float 2000.0);
+  check_bool "plain int stays exact" true (ok "7" = Json.Int 7);
+  bad "1.";
+  bad "1e";
+  bad "1e999" (* overflows to infinity *);
   bad "[1,]";
   bad "{\"a\":1} trailing";
   bad "\"unterminated";
@@ -396,6 +401,49 @@ let test_json_parser () =
   check_bool "pretty round trip" true (Json.of_string (Json.to_string v) = Ok v);
   check_bool "minified round trip" true
     (Json.of_string (Json.to_string ~minify:true v) = Ok v)
+
+(* NaN and infinities have no JSON form: the printer refuses rather than
+   emitting something the parser (rightly) rejects. *)
+let test_json_float_rejects_non_finite () =
+  List.iter
+    (fun f ->
+      match Json.to_string (Json.Float f) with
+      | exception Invalid_argument _ -> ()
+      | s -> Alcotest.failf "rendered a non-finite float as %s" s)
+    [ Float.nan; Float.infinity; Float.neg_infinity; -.Float.nan ]
+
+(* Arbitrary bit patterns: finite floats round-trip to the identical
+   bits (the emitter picks the shortest lossless decimal); NaN/inf are
+   rejected at print time. *)
+let prop_json_float_roundtrip =
+  QCheck2.Test.make ~name:"float emitter is lossless, rejects non-finite"
+    ~count:1000
+    QCheck2.Gen.(
+      oneof
+        [
+          float;
+          map Int64.float_of_bits int64;
+          oneofl
+            [ 0.0; -0.0; 1.0 /. 3.0; max_float; min_float; 4e-324; -1.5e300 ];
+        ])
+    (fun f ->
+      if not (Float.is_finite f) then
+        match Json.to_string (Json.Float f) with
+        | exception Invalid_argument _ -> true
+        | _ -> false
+      else
+        match Json.of_string (Json.to_string (Json.Float f)) with
+        | Ok (Json.Float g) -> Int64.bits_of_float g = Int64.bits_of_float f
+        | _ -> false)
+
+(* Escape correctness over the full byte range, both renderings. *)
+let prop_json_string_roundtrip =
+  QCheck2.Test.make ~name:"string escape round trip" ~count:1000
+    QCheck2.Gen.(string_size (int_range 0 60))
+    (fun s ->
+      Json.of_string (Json.to_string (Json.Str s)) = Ok (Json.Str s)
+      && Json.of_string (Json.to_string ~minify:true (Json.Str s))
+         = Ok (Json.Str s))
 
 (* ------------------------------------------------------------------ *)
 (* mds                                                                 *)
@@ -623,7 +671,14 @@ let () =
           Alcotest.test_case "certificate revalidation" `Quick
             test_certificate_revalidation;
         ] );
-      ("json", [ Alcotest.test_case "parser" `Quick test_json_parser ]);
+      ( "json",
+        [
+          Alcotest.test_case "parser" `Quick test_json_parser;
+          Alcotest.test_case "non-finite floats rejected" `Quick
+            test_json_float_rejects_non_finite;
+          QCheck_alcotest.to_alcotest prop_json_float_roundtrip;
+          QCheck_alcotest.to_alcotest prop_json_string_roundtrip;
+        ] );
       ( "mds",
         [
           Alcotest.test_case "exhaustive" `Quick test_mds_exhaustive;
