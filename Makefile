@@ -1,4 +1,4 @@
-.PHONY: all build test test-metrics bench bench-tables bench-micro bench-codec bench-obs examples audit doc clean
+.PHONY: all build test test-metrics bench bench-tables bench-micro bench-codec bench-obs bench-sched bench-gate examples audit doc clean
 
 all: build
 
@@ -30,6 +30,23 @@ bench-obs:
 	PINDISK_CODEC_QUICK=1 PINDISK_METRICS=1 \
 	  PINDISK_CODEC_OUT=BENCH_codec_metrics.json \
 	  dune exec bench/main.exe -- e20
+
+# Quick scheduling-scale run (E21); writes BENCH_sched.json.
+bench-sched:
+	PINDISK_SCHED_QUICK=1 dune exec bench/main.exe -- e21
+
+# Benchmark-regression gate: compare fresh quick-mode runs against the
+# committed baselines (bench/baselines/), failing on regression beyond
+# the tolerance band. Writes bench_gate_summary.md.
+bench-gate: bench-sched bench-codec
+	dune exec scripts/bench_gate.exe -- \
+	  --kind sched --fresh BENCH_sched.json \
+	  --baseline bench/baselines/BENCH_sched.baseline.json \
+	  --summary bench_gate_summary.md
+	dune exec scripts/bench_gate.exe -- \
+	  --kind codec --fresh BENCH_codec.json \
+	  --baseline bench/baselines/BENCH_codec.baseline.json \
+	  --summary bench_gate_summary.md --append
 
 # Full test suite with metrics recording force-enabled (determinism
 # regression: instrumentation must not change any observable output).

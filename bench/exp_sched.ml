@@ -1,0 +1,209 @@
+(* E21 -- scheduling scale: the online dispatcher against the eager
+   materialized path, n = 16 ... 4096 tasks.
+
+   Two deterministic dyadic task families per size n (a broadcast-disk
+   shape: a quarter of the files hot at window n, a quarter at 2n, half
+   cold):
+
+     base: windows {n, 2n, 4n}      -- hyperperiod 4n
+     deep: windows {n, 2n, 1024n}   -- hyperperiod 1024n, same task count
+
+   Both have density <= 1/2, so Sx always schedules them. "deep" scales
+   the hyperperiod by 256x at a fixed task count, which is exactly what
+   separates the two paths: the eager schedule's memory follows the
+   hyperperiod, the dispatcher's memory follows the task count only.
+
+   Per (family, n) the harness measures plan construction, eager
+   construction (Scheduler.schedule: plan + materialize + verify),
+   per-slot online dispatch, per-slot task_at lookup on the materialized
+   array, and reachable words of the plan, dispatcher and schedule.
+   Results land in BENCH_sched.json; scripts/bench_gate.ml compares the
+   scale-free headline ratios against bench/baselines.
+
+   Quick mode (PINDISK_SCHED_QUICK=1, used by CI and `make bench-sched`)
+   trims the time budget and the dispatch sample. *)
+
+module Task = Pindisk_pinwheel.Task
+module Plan = Pindisk_pinwheel.Plan
+module Online = Pindisk_pinwheel.Online
+module Schedule = Pindisk_pinwheel.Schedule
+module Scheduler = Pindisk_pinwheel.Scheduler
+module Obs = Pindisk_obs
+
+let obs_dispatch = Obs.Registry.histogram "sched.dispatch_ns"
+
+let family ~deep n =
+  let window i =
+    if i < n / 4 then n
+    else if i < n / 2 then 2 * n
+    else if deep then 1024 * n
+    else 4 * n
+  in
+  List.init n (fun i -> Task.unit ~id:i ~b:(window i))
+
+(* Fixed-work harness: repeat [f] until the budget is spent, return mean
+   ns per call. *)
+let time_budget = ref 0.2
+
+let mean_ns f =
+  ignore (Sys.opaque_identity (f ()));
+  let t0 = Unix.gettimeofday () in
+  let reps = ref 0 in
+  let elapsed = ref 0.0 in
+  while !reps < 2 || !elapsed < !time_budget do
+    ignore (Sys.opaque_identity (f ()));
+    incr reps;
+    elapsed := Unix.gettimeofday () -. t0
+  done;
+  !elapsed *. 1e9 /. float_of_int !reps
+
+type row = {
+  family : string;
+  n : int;
+  period : int;
+  plan_build_ns : float;
+  eager_build_ns : float;
+  dispatch_ns_per_slot : float;
+  task_at_ns_per_slot : float;
+  eager_build_ns_per_slot : float;
+  speedup_eager_over_online : float;
+  plan_words : int;
+  dispatcher_words : int;
+  schedule_words : int;
+}
+
+let measure ~quick ~deep n =
+  let sys = family ~deep n in
+  let plan =
+    match Scheduler.plan sys with
+    | Some p -> p
+    | None -> failwith "exp_sched: family must be schedulable"
+  in
+  let sched =
+    match Scheduler.schedule sys with
+    | Some s -> s
+    | None -> failwith "exp_sched: family must be schedulable"
+  in
+  let period = Plan.period plan in
+  assert (period = Schedule.period sched);
+  let plan_build_ns = mean_ns (fun () -> Scheduler.plan sys) in
+  let eager_build_ns = mean_ns (fun () -> Scheduler.schedule sys) in
+  (* Per-slot dispatch: one long-lived dispatcher, batches of [chunk]
+     slots (the dispatcher is infinite; no reset between batches). *)
+  let chunk = if quick then 100_000 else 500_000 in
+  let disp = Plan.create plan in
+  let sink = ref 0 in
+  let dispatch_ns_per_slot =
+    mean_ns (fun () ->
+        for _ = 1 to chunk do
+          sink := !sink lxor Plan.next disp
+        done)
+    /. float_of_int chunk
+  in
+  if Obs.Control.enabled () then
+    Obs.Histogram.observe obs_dispatch (int_of_float dispatch_ns_per_slot);
+  let task_at_ns_per_slot =
+    let t = ref 0 in
+    mean_ns (fun () ->
+        for _ = 1 to chunk do
+          sink := !sink lxor Schedule.task_at sched !t;
+          incr t
+        done)
+    /. float_of_int chunk
+  in
+  ignore (Sys.opaque_identity !sink);
+  let eager_build_ns_per_slot = eager_build_ns /. float_of_int period in
+  {
+    family = (if deep then "deep" else "base");
+    n;
+    period;
+    plan_build_ns;
+    eager_build_ns;
+    dispatch_ns_per_slot;
+    task_at_ns_per_slot;
+    eager_build_ns_per_slot;
+    speedup_eager_over_online = eager_build_ns_per_slot /. dispatch_ns_per_slot;
+    plan_words = Obj.reachable_words (Obj.repr plan);
+    dispatcher_words = Obj.reachable_words (Obj.repr disp);
+    schedule_words = Obj.reachable_words (Obj.repr sched);
+  }
+
+let find rows ~family ~n =
+  List.find_opt (fun r -> r.family = family && r.n = n) rows
+
+let write_json ~path ~quick rows =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"bench\": \"sched\",\n";
+  out "  \"mode\": \"%s\",\n" (if quick then "quick" else "full");
+  out "  \"metrics\": %b,\n" (Pindisk_obs.Control.enabled ());
+  (match (find rows ~family:"base" ~n:1024, find rows ~family:"base" ~n:4096) with
+  | Some r1k, Some r4k ->
+      out "  \"dispatch_speedup_n1024\": %.2f,\n" r1k.speedup_eager_over_online;
+      out "  \"dispatch_speedup_n4096\": %.2f,\n" r4k.speedup_eager_over_online
+  | _ -> ());
+  (match (find rows ~family:"base" ~n:4096, find rows ~family:"deep" ~n:4096) with
+  | Some b, Some d ->
+      out "  \"period_ratio_deep_over_base_n4096\": %.2f,\n"
+        (float_of_int d.period /. float_of_int b.period);
+      out "  \"online_memory_ratio_deep_over_base_n4096\": %.3f,\n"
+        (float_of_int d.dispatcher_words /. float_of_int b.dispatcher_words);
+      out "  \"schedule_memory_ratio_deep_over_base_n4096\": %.2f,\n"
+        (float_of_int d.schedule_words /. float_of_int b.schedule_words)
+  | _ -> ());
+  out "  \"results\": [\n";
+  List.iteri
+    (fun i r ->
+      out
+        "    {\"family\": \"%s\", \"n\": %d, \"period\": %d, \
+         \"plan_build_ns\": %.0f, \"eager_build_ns\": %.0f, \
+         \"dispatch_ns_per_slot\": %.1f, \"task_at_ns_per_slot\": %.1f, \
+         \"eager_build_ns_per_slot\": %.1f, \
+         \"speedup_eager_over_online\": %.2f, \"plan_words\": %d, \
+         \"dispatcher_words\": %d, \"schedule_words\": %d}%s\n"
+        r.family r.n r.period r.plan_build_ns r.eager_build_ns
+        r.dispatch_ns_per_slot r.task_at_ns_per_slot r.eager_build_ns_per_slot
+        r.speedup_eager_over_online r.plan_words r.dispatcher_words
+        r.schedule_words
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  out "  ]\n}\n";
+  close_out oc
+
+let run () =
+  let quick = Sys.getenv_opt "PINDISK_SCHED_QUICK" <> None in
+  if quick then time_budget := 0.1;
+  Format.printf "== E21 / scheduling scale: online dispatcher vs eager ==@.";
+  let sizes = [ 16; 64; 256; 1024; 4096 ] in
+  let rows =
+    List.concat_map
+      (fun n ->
+        [ measure ~quick ~deep:false n; measure ~quick ~deep:true n ])
+      sizes
+  in
+  Format.printf "  %-5s %-5s %-9s %-11s %-11s %-10s %-8s %-9s %-9s@." "fam"
+    "n" "period" "plan ms" "eager ms" "disp ns" "speedup" "disp kw" "sched kw";
+  List.iter
+    (fun r ->
+      Format.printf
+        "  %-5s %-5d %-9d %-11.2f %-11.2f %-10.1f %-8.1f %-9d %-9d@." r.family
+        r.n r.period (r.plan_build_ns /. 1e6) (r.eager_build_ns /. 1e6)
+        r.dispatch_ns_per_slot r.speedup_eager_over_online
+        (r.dispatcher_words / 1000) (r.schedule_words / 1000))
+    rows;
+  (match (find rows ~family:"base" ~n:4096, find rows ~family:"deep" ~n:4096) with
+  | Some b, Some d ->
+      Format.printf
+        "  headline (n=4096): dispatch %.1fx faster per slot than eager \
+         build; 256x hyperperiod costs the dispatcher %.2fx memory (the \
+         schedule %.0fx)@."
+        b.speedup_eager_over_online
+        (float_of_int d.dispatcher_words /. float_of_int b.dispatcher_words)
+        (float_of_int d.schedule_words /. float_of_int b.schedule_words)
+  | _ -> ());
+  let path =
+    Option.value (Sys.getenv_opt "PINDISK_SCHED_OUT") ~default:"BENCH_sched.json"
+  in
+  write_json ~path ~quick rows;
+  Format.printf "  wrote %s@.@." path

@@ -28,6 +28,7 @@ let experiments =
     ("e18", "Transactions ablation", Exp_transaction.run);
     ("e19", "Adaptive degradation: static vs closed-loop", Exp_adaptive.run);
     ("e20", "Codec engine: table-driven GF(256) + domain pool", Exp_codec.run);
+    ("e21", "Scheduling scale: online dispatcher vs eager", Exp_sched.run);
   ]
 
 let () =

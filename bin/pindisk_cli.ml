@@ -118,17 +118,52 @@ let algorithm_arg =
   let doc = "Scheduler: auto, sa, sx, sr, sxy or exact." in
   Arg.(value & opt (enum alts) Scheduler.Auto & info [ "a"; "algorithm" ] ~doc)
 
+let online_arg =
+  let doc =
+    "Also build the lazy online dispatcher for the same system, print its \
+     dispatched first period, and check it replays the eager schedule \
+     slot-for-slot over two periods."
+  in
+  Arg.(value & flag & info [ "online" ] ~doc)
+
+let pp_slots ppf slots =
+  Array.iteri
+    (fun i v ->
+      if i > 0 then Format.fprintf ppf " ";
+      if v = Schedule.idle then Format.fprintf ppf "."
+      else Format.fprintf ppf "%d" v)
+    slots
+
 let schedule_cmd =
-  let run tasks algorithm =
+  let run tasks algorithm online =
     match collect parse_task tasks with
     | Error e -> fail "%s" e
     | Ok sys -> (
         Format.printf "system: %a@.density: %a@." Task.pp_system sys Q.pp
           (Task.system_density sys);
+        if online then
+          Format.printf "pre-check: %a@." P.Density.pp_verdict
+            (P.Density.classify sys);
         match Scheduler.schedule ~algorithm sys with
         | Some sched ->
             Format.printf "schedule (period %d): %a@." (Schedule.period sched)
               Schedule.pp sched;
+            if online then begin
+              match P.Online.of_system ~algorithm sys with
+              | None -> Format.printf "online: no plan (unexpected)@."
+              | Some d ->
+                  let p = P.Online.period d in
+                  Format.printf "online (period %d): %a@." p pp_slots
+                    (P.Online.take d (min p 64));
+                  P.Online.reset d;
+                  let agree = ref (p = Schedule.period sched) in
+                  for t = 0 to (2 * p) - 1 do
+                    if P.Online.next_slot d <> Schedule.task_at sched t then
+                      agree := false
+                  done;
+                  Format.printf "online matches eager over 2 periods: %b@."
+                    !agree
+            end;
             `Ok ()
         | None ->
             fail "no schedule found by %s"
@@ -136,7 +171,79 @@ let schedule_cmd =
   in
   Cmd.v
     (Cmd.info "schedule" ~doc:"Schedule a pinwheel task system")
-    Term.(ret (const (fun () -> run) $ setup_logs $ tasks_arg $ algorithm_arg))
+    Term.(
+      ret
+        (const (fun () -> run)
+        $ setup_logs $ tasks_arg $ algorithm_arg $ online_arg))
+
+(* ---------------- sched-bench ---------------- *)
+
+let sched_bench_cmd =
+  (* The e21 "base" family at CLI scale: a quarter of the tasks at window
+     n, a quarter at 2n, half at 4n — density 1/2, hyperperiod 4n. *)
+  let family n =
+    List.init n (fun i ->
+        let b = if i < n / 4 then n else if i < n / 2 then 2 * n else 4 * n in
+        Task.unit ~id:i ~b)
+  in
+  let sizes_arg =
+    let doc = "Task-system size (repeatable, powers of two >= 8)." in
+    Arg.(value & opt_all int [ 16; 64; 256 ] & info [ "n" ] ~docv:"N" ~doc)
+  in
+  let check_arg =
+    let doc =
+      "Deterministic mode: verify online/eager agreement over two \
+       hyperperiods instead of timing (stable output, used by tests)."
+    in
+    Arg.(value & flag & info [ "check" ] ~doc)
+  in
+  let run sizes check =
+    let bad = List.filter (fun n -> n < 8 || n land (n - 1) <> 0) sizes in
+    if bad <> [] then fail "sizes must be powers of two >= 8"
+    else begin
+      List.iter
+        (fun n ->
+          let sys = family n in
+          match (Scheduler.plan sys, Scheduler.schedule sys) with
+          | Some plan, Some sched ->
+              let p = P.Plan.period plan in
+              if check then begin
+                let d = P.Plan.create plan in
+                let agree = ref (p = Schedule.period sched) in
+                for t = 0 to (2 * p) - 1 do
+                  if P.Plan.next d <> Schedule.task_at sched t then
+                    agree := false
+                done;
+                Format.printf
+                  "n=%d: period %d, online matches eager over 2 periods: %b@."
+                  n p !agree
+              end
+              else begin
+                let t0 = Unix.gettimeofday () in
+                let reps = max 1 (1_000_000 / p) in
+                let d = P.Plan.create plan in
+                let sink = ref 0 in
+                for _ = 1 to reps * p do
+                  sink := !sink lxor P.Plan.next d
+                done;
+                ignore (Sys.opaque_identity !sink);
+                let ns =
+                  (Unix.gettimeofday () -. t0) *. 1e9
+                  /. float_of_int (reps * p)
+                in
+                Format.printf "n=%d: period %d, dispatch %.0f ns/slot@." n p ns
+              end
+          | _ -> Format.printf "n=%d: not schedulable (unexpected)@." n)
+        sizes;
+      `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "sched-bench"
+       ~doc:
+         "Scheduling-scale smoke benchmark: online dispatch over the e21 \
+          task family (see `make bench-sched` for the full experiment)")
+    Term.(ret (const (fun () -> run) $ setup_logs $ sizes_arg $ check_arg))
 
 (* ---------------- bandwidth ---------------- *)
 
@@ -875,6 +982,7 @@ let () =
        (Cmd.group info
           [
             schedule_cmd;
+            sched_bench_cmd;
             bandwidth_cmd;
             program_cmd;
             convert_cmd;

@@ -1,0 +1,47 @@
+module Q = Pindisk_util.Q
+
+type verdict =
+  | Infeasible of string
+  | Guaranteed of string
+  | Unknown
+
+let pp_verdict ppf = function
+  | Infeasible r -> Format.fprintf ppf "infeasible (%s)" r
+  | Guaranteed r -> Format.fprintf ppf "schedulable (%s)" r
+  | Unknown -> Format.fprintf ppf "undecided by density bounds"
+
+let schedulable_threshold ~min_window =
+  if min_window < 2 then Q.one else Q.make 5 6
+
+let q_str q = Printf.sprintf "%d/%d" q.Q.num q.Q.den
+
+let classify sys =
+  match sys with
+  | [] -> Guaranteed "empty system"
+  | _ ->
+      let d = Task.system_density sys in
+      let min_window =
+        List.fold_left (fun acc t -> min acc t.Task.b) max_int sys
+      in
+      let has_unit b = List.exists (fun t -> t.Task.a = 1 && t.Task.b = b) sys in
+      if Q.( > ) d Q.one then
+        Infeasible (Printf.sprintf "density %s exceeds 1" (q_str d))
+      else if has_unit 2 && has_unit 3 && List.length sys >= 3 then
+        (* The paper's Example 1 family: {2, 3, M} is infeasible for every
+           finite M (Holte et al. 1989). Any valid schedule for a superset,
+           restricted to the windows-2 and -3 tasks plus any third task
+           (which must occur at least once per window), would schedule
+           {2, 3, M} — contradiction. *)
+        Infeasible "contains {2, 3, _}: infeasible for every third task"
+      else begin
+        let limit = schedulable_threshold ~min_window in
+        if Q.( <= ) d (Q.make 1 2) && min_window >= 2 then
+          Guaranteed
+            (Printf.sprintf "density %s <= 1/2: Holte et al. bound, constructive via Sa"
+               (q_str d))
+        else if Q.( <= ) d limit && min_window >= 2 then
+          Guaranteed
+            (Printf.sprintf "density %s <= 5/6: Kawamura density threshold"
+               (q_str d))
+        else Unknown
+      end

@@ -1,0 +1,43 @@
+(** Density pre-check: decide what density theory already settles, before
+    any scheduler runs.
+
+    The published schedulability frontier for pinwheel systems, by total
+    density [Σ a/b]:
+
+    - [> 1]: infeasible — pigeonhole over any hyperperiod.
+    - [<= 1/2]: schedulable, constructively — Holte et al.'s
+      single-integer reduction (our [Sa]) always succeeds.
+    - [<= 5/6] (windows [>= 2]): schedulable — Kawamura's proof of the
+      density threshold conjecture (arXiv:2606.27104). Tight: the family
+      [{2, 3, M}] has density [5/6 + 1/M] and is infeasible for every
+      finite [M] (the paper's Example 1; Holte et al. 1989). Mishra, Rho &
+      Kleinberg (arXiv:2508.18422) sharpen the bound beyond [5/6] for
+      instances whose {e minimum} window is large; this module stays with
+      the universally valid [5/6].
+
+    Both guarantee bounds transfer to multi-unit systems through
+    {!Task.decompose_units} (density is preserved, and a schedule of the
+    decomposition serves the original).
+
+    [Scheduler.Auto] consults {!classify} to skip doomed attempts (verdict
+    [Infeasible]) without running any construction, and callers can use
+    [Guaranteed] to promise success before paying for a schedule. *)
+
+type verdict =
+  | Infeasible of string  (** provably unschedulable; the reason cites the bound *)
+  | Guaranteed of string  (** provably schedulable by a published bound *)
+  | Unknown  (** between the bounds: only a scheduler run can tell *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+val schedulable_threshold : min_window:int -> Pindisk_util.Q.t
+(** The density up to which {e every} system with all windows
+    [>= min_window] is schedulable: [5/6] for [min_window >= 2]
+    (Kawamura), [1] (vacuous) for [min_window < 2] — a [pc(1,1)] task
+    admits no density-based guarantee short of having the system to
+    itself. *)
+
+val classify : Task.system -> verdict
+(** Sound on both sides: [Infeasible] only by the pigeonhole bound or the
+    [{2, 3, _}] family argument; [Guaranteed] only by the Holte et al. 1/2
+    or Kawamura 5/6 bounds. Never runs a scheduler. *)

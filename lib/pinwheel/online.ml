@@ -1,0 +1,15 @@
+type t = { plan : Plan.t; disp : Plan.dispatcher }
+
+let of_plan plan = { plan; disp = Plan.create plan }
+let of_system ?algorithm sys = Option.map of_plan (Scheduler.plan ?algorithm sys)
+let next_slot t = Plan.next t.disp
+let peek t = Plan.peek t.disp
+let slot t = Plan.slot t.disp
+let period t = Plan.period t.plan
+let plan t = t.plan
+let reset t = Plan.reset t.disp
+let to_schedule t = Plan.to_schedule t.plan
+
+let take t n =
+  if n < 0 then invalid_arg "Online.take: negative count";
+  Array.init n (fun _ -> next_slot t)

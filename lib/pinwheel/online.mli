@@ -1,0 +1,53 @@
+(** The lazy, online pinwheel dispatcher.
+
+    Where {!Scheduler.schedule} materializes a full hyperperiod array, this
+    module dispatches the same biinfinite schedule one slot at a time:
+    {!next_slot} costs O(log n) (a binary min-heap over per-task
+    next-occurrence offsets) and the dispatcher's live memory is O(n) in
+    the task count — independent of the hyperperiod. An n = 4096 system
+    whose eager schedule would occupy millions of slots dispatches from a
+    few hundred KB.
+
+    The bridge is exact: {!of_system} derives its plan from
+    {!Scheduler.plan}, the same code path the eager scheduler
+    materializes, so [next_slot] replayed from slot 0 equals
+    [Schedule.task_at (Scheduler.schedule sys) t] for every [t] — the test
+    suite replays two full hyperperiods to pin this. Only the
+    [Exact_small] fallback stores an explicit slot array (its output has
+    no closed form). *)
+
+type t
+
+val of_system :
+  ?algorithm:Scheduler.algorithm -> Task.system -> t option
+(** Plan with {!Scheduler.plan} (density pre-check included) and start a
+    dispatcher at slot 0. [None] exactly when {!Scheduler.schedule} would
+    return [None]. Raises on invalid systems, like the scheduler. *)
+
+val of_plan : Plan.t -> t
+(** Dispatch an existing plan from slot 0. *)
+
+val next_slot : t -> int
+(** The task id (or {!Schedule.idle}) broadcast in the current slot;
+    advances to the next slot. O(log n). *)
+
+val peek : t -> int
+(** Current slot's task id without advancing. *)
+
+val slot : t -> int
+(** The index of the slot {!next_slot} would dispatch next. *)
+
+val period : t -> int
+(** The hyperperiod of the underlying plan (never materialized). *)
+
+val plan : t -> Plan.t
+
+val reset : t -> unit
+(** Rewind to slot 0 in place. *)
+
+val take : t -> int -> int array
+(** [take t n] dispatches the next [n] slots. *)
+
+val to_schedule : t -> Schedule.t
+(** Materialize the underlying plan eagerly — the bridge back to
+    {!Schedule.t}; equals the eager scheduler's output. *)

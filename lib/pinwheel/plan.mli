@@ -1,0 +1,89 @@
+(** Dispatch plans: the closed form behind every constructive scheduler.
+
+    All constructive schedulers in this library reduce to exact arithmetic:
+    {!Harmonic} places each unit task on the slots [offset + i·period];
+    {!Rotation}'s member [j] of a [k]-member column [c] under base [g]
+    occupies exactly the slots [≡ c + g·j (mod g·k)]; {!Two_chain}
+    interleaves two sub-schedules by the Beatty-style test
+    [⌊(t+1)c/d⌋ > ⌊t·c/d⌋]. A plan captures that closed form instead of the
+    materialized slot array, so the same object supports two consumers:
+
+    - {!to_schedule} materializes one hyperperiod eagerly (the seed path);
+    - {!create}/{!next} dispatch slots {e online} in O(log n) time and O(n)
+      memory — no hyperperiod array is ever allocated.
+
+    Both consumers walk the identical arithmetic, so they are slot-for-slot
+    equal by construction; the test suite re-checks this with qcheck replay
+    over two hyperperiods. *)
+
+type progression = { key : int; offset : int; period : int }
+(** Task [key] occupies exactly the slots [offset + i·period], [i >= 0]. *)
+
+type t
+(** A dispatch plan: disjoint progressions, a Beatty merge of two
+    sub-plans, or an explicit schedule (the escape hatch for the exact
+    solver, whose output has no closed form). *)
+
+val progressions : progression list -> t
+(** Plan serving each progression exactly; period is the lcm of the
+    progression periods ([1] when empty — the all-idle plan). The
+    progressions must be pairwise disjoint; collisions are detected by
+    {!to_schedule} and by plan verification, not here. Raises
+    [Invalid_argument] unless [0 <= offset < period] and [key >= 0] for
+    each; raises [Pindisk_util.Intmath.Overflow] if the lcm overflows. *)
+
+val merge : c:int -> d:int -> t -> t -> t
+(** [merge ~c ~d first second] dedicates to [first] the slots [t] with
+    [⌊(t+1)c/d⌋ > ⌊t·c/d⌋] — [c] of every [d], evenly — and the rest to
+    [second]; each sub-plan runs on its own virtual timeline. Period is
+    [d · lcm] of the sub-periods. Raises [Invalid_argument] unless
+    [1 <= c < d]; raises [Overflow] if the period overflows. *)
+
+val explicit : Schedule.t -> t
+(** Wrap a materialized schedule (period and memory equal the schedule's —
+    only this constructor ties plan memory to the hyperperiod). *)
+
+val period : t -> int
+(** The plan's cyclic period (the hyperperiod it would materialize to). *)
+
+val task_ids : t -> int list
+(** Distinct keys served by the plan, ascending. *)
+
+val beatty_hit : c:int -> d:int -> int -> bool
+(** [beatty_hit ~c ~d t] is the merge dedication test
+    [⌊(t+1)c/d⌋ > ⌊t·c/d⌋]; exposed so {!Two_chain} shares the single
+    definition. *)
+
+val to_schedule : t -> Schedule.t
+(** Materialize one period. Raises [Invalid_argument] if two progressions
+    collide (a malformed plan — never produced by the schedulers). *)
+
+(** {1 Online dispatching} *)
+
+type dispatcher
+(** Mutable cursor over a plan's biinfinite slot sequence. For progression
+    plans this is a binary min-heap over next-occurrence times: since valid
+    plans are collision-free, at most one task is due per slot, so
+    {!next} costs one peek plus at most one pop/push — O(log n) — and the
+    dispatcher's memory is O(n), independent of the hyperperiod. *)
+
+val create : t -> dispatcher
+(** A dispatcher positioned at slot 0. *)
+
+val next : dispatcher -> int
+(** The task id (or {!Schedule.idle}) of the current slot; advances the
+    cursor. Equals [Schedule.task_at (to_schedule plan) t] for the [t]-th
+    call on a well-formed plan. *)
+
+val peek : dispatcher -> int
+(** The current slot's task id without advancing. *)
+
+val slot : dispatcher -> int
+(** Index of the slot {!next} would dispatch next (0-based). *)
+
+val reset : dispatcher -> unit
+(** Rewind to slot 0 (in place, no reallocation). *)
+
+val pull : dispatcher -> unit -> int
+(** [pull d] is [fun () -> next d]: the thunk shape
+    {!Verify.satisfies_seq} consumes. *)

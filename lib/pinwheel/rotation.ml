@@ -39,7 +39,7 @@ let assign ~g units =
   in
   run sorted
 
-let schedule_with_base ~g sys =
+let plan_with_base ~g sys =
   match Task.check_system sys with
   | Error _ -> None
   | Ok () -> (
@@ -47,8 +47,10 @@ let schedule_with_base ~g sys =
       match assign ~g units with
       | None -> None
       | Some placements ->
-          (* Column c with k members has round-robin period g*k; the
-             hyperperiod is g * lcm of the class sizes. *)
+          (* Column c with k members has round-robin period g*k; member j
+             occupies exactly the slots ≡ c + g·j (mod g·k) — an
+             arithmetic progression, so the whole rotation is a
+             progression plan of period g * lcm of the class sizes. *)
           let sizes =
             List.sort_uniq compare (List.map (fun (_, _, k) -> k) placements)
           in
@@ -56,29 +58,36 @@ let schedule_with_base ~g sys =
           (match Intmath.lcm_list sizes with
           | exception Intmath.Overflow -> None
           | l when l > 1_000_000 -> None
-          | l ->
-              let period = g * l in
-              let slots = Array.make period Schedule.idle in
-              (* Rebuild per-column member arrays for slot lookup. *)
-              let by_column = Array.make g [||] in
+          | _ ->
+              (* Rebuild per-column member order: [assign] lists columns in
+                 order, members in first-fit order within each column. *)
+              let progs = ref [] in
               List.iter
                 (fun c ->
                   let members =
                     List.filter (fun (_, c', _) -> c' = c) placements
                     |> List.map (fun (key, _, _) -> key)
                   in
-                  by_column.(c) <- Array.of_list members)
+                  let k = List.length members in
+                  List.iteri
+                    (fun j key ->
+                      progs :=
+                        { Plan.key; offset = c + (g * j); period = g * k }
+                        :: !progs)
+                    members)
                 (List.init g (fun c -> c));
-              for t = 0 to period - 1 do
-                let c = t mod g in
-                let members = by_column.(c) in
-                let k = Array.length members in
-                if k > 0 then slots.(t) <- members.((t / g) mod k)
-              done;
-              let sched = Schedule.make slots in
-              if Verify.satisfies sched sys then Some sched else None))
+              let plan =
+                if !progs = [] then
+                  (* No units: the all-idle schedule, period g as before. *)
+                  Plan.explicit (Schedule.make (Array.make g Schedule.idle))
+                else Plan.progressions (List.rev !progs)
+              in
+              if Verify.satisfies_plan plan sys then Some plan else None))
 
-let schedule sys =
+let schedule_with_base ~g sys =
+  Option.map Plan.to_schedule (plan_with_base ~g sys)
+
+let plan sys =
   match sys with
   | [] -> None
   | _ ->
@@ -86,8 +95,10 @@ let schedule sys =
       let rec go g =
         if g < 1 then None
         else
-          match schedule_with_base ~g sys with
-          | Some sched -> Some sched
+          match plan_with_base ~g sys with
+          | Some p -> Some p
           | None -> go (g - 1)
       in
       go min_b
+
+let schedule sys = Option.map Plan.to_schedule (plan sys)

@@ -25,10 +25,17 @@ val assign : g:int -> (int * int) list -> (int * int * int) list option
     or [None] if no first-fit assignment keeps every column's
     [g·size <= min window]. Raises [Invalid_argument] when [g < 1]. *)
 
-val schedule_with_base : g:int -> Task.system -> Schedule.t option
-(** Build and verify the cyclic schedule for one base. *)
+val plan_with_base : g:int -> Task.system -> Plan.t option
+(** Build and verify the dispatch plan for one base: member [j] of a
+    [k]-member column [c] is the progression [c + g·j (mod g·k)]. *)
 
-val schedule : Task.system -> Schedule.t option
+val schedule_with_base : g:int -> Task.system -> Schedule.t option
+(** [plan_with_base] materialized (slot-for-slot equal by construction). *)
+
+val plan : Task.system -> Plan.t option
 (** Try every base [g] from the smallest window down to 1, preferring
     larger bases (finer columns waste less), and return the first
-    verified schedule. *)
+    verified plan. *)
+
+val schedule : Task.system -> Schedule.t option
+(** {!plan} materialized. *)

@@ -24,7 +24,19 @@ let occurrences s i =
   done;
   !acc
 
-let count s i = List.length (occurrences s i)
+let count s i =
+  let n = ref 0 in
+  for t = 0 to s.period - 1 do
+    if s.slots.(t) = i then incr n
+  done;
+  !n
+
+let fold_occurrences s i f init =
+  let acc = ref init in
+  for t = 0 to s.period - 1 do
+    if s.slots.(t) = i then acc := f !acc t
+  done;
+  !acc
 
 let task_ids s =
   Array.to_list s.slots
@@ -36,18 +48,17 @@ let utilization s =
   Q.make busy s.period
 
 let max_gap s i =
-  match occurrences s i with
-  | [] -> None
-  | [ t ] ->
-      ignore t;
-      Some s.period
-  | first :: _ as occs ->
-      (* Gaps between consecutive occurrences, wrapping around the period. *)
-      let rec go prev acc = function
-        | [] -> max acc (first + s.period - prev)
-        | t :: rest -> go t (max acc (t - prev)) rest
-      in
-      Some (go first 0 (List.tl occs))
+  (* Single pass: track the first and the previous occurrence; the wrap
+     gap closes the cycle. A lone occurrence yields first = prev, so the
+     wrap gap is exactly the period. *)
+  let first = ref (-1) and prev = ref (-1) and acc = ref 0 in
+  for t = 0 to s.period - 1 do
+    if s.slots.(t) = i then begin
+      if !first < 0 then first := t else acc := max !acc (t - !prev);
+      prev := t
+    end
+  done;
+  if !first < 0 then None else Some (max !acc (!first + s.period - !prev))
 
 let rotate s k =
   let k = ((k mod s.period) + s.period) mod s.period in

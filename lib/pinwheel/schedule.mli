@@ -26,7 +26,13 @@ val occurrences : t -> int -> int list
 (** Slots within [0, period) assigned to the given task id, ascending. *)
 
 val count : t -> int -> int
-(** Occurrences of a task id per period. *)
+(** Occurrences of a task id per period. A direct fold over the slot
+    array — no occurrence list is built. *)
+
+val fold_occurrences : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
+(** [fold_occurrences s i f init] folds [f] over the slots of one period
+    assigned to [i], in ascending slot order, without allocating the
+    occurrence list. *)
 
 val task_ids : t -> int list
 (** Distinct non-idle ids appearing in the schedule, ascending. *)

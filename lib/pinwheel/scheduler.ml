@@ -21,35 +21,65 @@ let exact_small sys =
     | Exact.Feasible sched -> Some sched
     | Exact.Infeasible | Exact.Too_large -> None
 
-let rec run algorithm sys =
+let rec run_plan algorithm sys =
   match algorithm with
-  | Sa -> Specialize.sa sys
-  | Sx -> Specialize.sx sys
-  | Sr -> Rotation.schedule sys
-  | Sxy -> Two_chain.schedule sys
-  | Exact_small -> exact_small sys
+  | Sa -> Specialize.sa_plan sys
+  | Sx -> Specialize.sx_plan sys
+  | Sr -> Rotation.plan sys
+  | Sxy -> Two_chain.plan sys
+  | Exact_small -> Option.map Plan.explicit (exact_small sys)
   | Auto -> (
-      match run Sx sys with
-      | Some s -> Some s
+      match run_plan Sx sys with
+      | Some p -> Some p
       | None -> (
-          match run Sr sys with
-          | Some s -> Some s
+          match run_plan Sr sys with
+          | Some p -> Some p
           | None -> (
-              match run Sxy sys with
-              | Some s -> Some s
-              | None -> run Exact_small sys)))
+              match run_plan Sxy sys with
+              | Some p -> Some p
+              | None -> run_plan Exact_small sys)))
 
-let schedule ?(algorithm = Auto) sys =
+let plan ?(algorithm = Auto) sys =
   (match Task.check_system sys with
-  | Error e -> invalid_arg ("Scheduler.schedule: " ^ e)
+  | Error e -> invalid_arg ("Scheduler.plan: " ^ e)
   | Ok () -> ());
-  if sys = [] then invalid_arg "Scheduler.schedule: empty system";
+  if sys = [] then invalid_arg "Scheduler.plan: empty system";
   Log.debug (fun m ->
       m "scheduling %a (density %a) with %a" Task.pp_system sys Q.pp
         (Task.system_density sys) pp_algorithm algorithm);
-  match run algorithm sys with
-  | Some sched ->
-      (* Defense in depth: no schedule leaves this module unverified. *)
+  match Density.classify sys with
+  | Density.Infeasible reason ->
+      (* Sound pre-check: skip every construction attempt. *)
+      Log.debug (fun m -> m "density pre-check: infeasible -- %s" reason);
+      None
+  | verdict -> (
+      (match verdict with
+      | Density.Guaranteed reason ->
+          Log.debug (fun m -> m "density pre-check: %s" reason)
+      | _ -> ());
+      match run_plan algorithm sys with
+      | Some p ->
+          Log.debug (fun m -> m "planned with period %d" (Plan.period p));
+          Some p
+      | None ->
+          Log.debug (fun m -> m "no schedule found");
+          None)
+
+let schedule ?(algorithm = Auto) sys =
+  match plan ~algorithm sys with
+  | exception Invalid_argument msg ->
+      (* Keep the historical error prefix. *)
+      invalid_arg
+        (match String.index_opt msg ':' with
+        | Some i ->
+            "Scheduler.schedule" ^ String.sub msg i (String.length msg - i)
+        | None -> msg)
+  | None -> None
+  | Some p ->
+      let sched = Plan.to_schedule p in
+      (* Defense in depth: no schedule leaves this module unverified. The
+         plan was verified by streaming; this re-checks the materialized
+         form, pinning dispatcher/materializer agreement. *)
       if Verify.satisfies sched sys then begin
         Log.debug (fun m -> m "scheduled with period %d" (Schedule.period sched));
         Some sched
@@ -60,9 +90,6 @@ let schedule ?(algorithm = Auto) sys =
               Task.pp_system sys);
         None
       end
-  | None ->
-      Log.debug (fun m -> m "no schedule found");
-      None
 
 let schedulable ?algorithm sys = schedule ?algorithm sys <> None
 

@@ -17,6 +17,16 @@ type algorithm =
 
 val pp_algorithm : Format.formatter -> algorithm -> unit
 
+val plan : ?algorithm:algorithm -> Task.system -> Plan.t option
+(** [plan sys] is a verified dispatch plan for [sys] — the lazy
+    counterpart of {!schedule}, produced by the same algorithm choices on
+    the same code path, so [Option.map Plan.to_schedule (plan sys)] equals
+    [schedule sys] slot for slot. A {!Density.classify} pre-check skips
+    all construction on provably infeasible systems. Verification happens
+    by streaming ({!Verify.satisfies_plan}); no hyperperiod array is
+    allocated unless the [Exact_small] fallback fires (whose output is
+    inherently explicit). Raises like {!schedule}. *)
+
 val schedule : ?algorithm:algorithm -> Task.system -> Schedule.t option
 (** [schedule sys] is a verified cyclic schedule for [sys], or [None] if
     the chosen algorithm fails (which for [Exact_small] on a unit system

@@ -43,7 +43,7 @@ let candidate_bases sys =
       Hashtbl.fold (fun k () acc -> k :: acc) candidates []
       |> List.sort (fun a b -> compare b a)
 
-let schedule_with_base ~x sys =
+let plan_with_base ~x sys =
   match Task.check_system sys with
   | Error _ -> None
   | Ok () -> (
@@ -63,11 +63,22 @@ let schedule_with_base ~x sys =
           let pairs = List.filter_map (fun o -> o) specialized in
           match Harmonic.pack ~x pairs with
           | None -> None
-          | Some assignments ->
-              let sched = Harmonic.schedule_of ~x assignments in
-              if Verify.satisfies sched sys then Some sched else None)
+          | Some assignments -> (
+              match
+                Plan.progressions
+                  (List.map
+                     (fun (a : Harmonic.assignment) ->
+                       { Plan.key = a.key; offset = a.offset; period = a.period })
+                     assignments)
+              with
+              | exception Pindisk_util.Intmath.Overflow -> None
+              | plan -> if Verify.satisfies_plan plan sys then Some plan else None))
+
+let schedule_with_base ~x sys =
+  Option.map Plan.to_schedule (plan_with_base ~x sys)
 
 let sa sys = schedule_with_base ~x:1 sys
+let sa_plan sys = plan_with_base ~x:1 sys
 
 let best_base sys =
   let feasible =
@@ -90,7 +101,9 @@ let best_base sys =
 
 let sx_base sys = best_base sys
 
-let sx sys =
+let sx_plan sys =
   match best_base sys with
   | None -> None
-  | Some x -> schedule_with_base ~x sys
+  | Some x -> plan_with_base ~x sys
+
+let sx sys = Option.map Plan.to_schedule (sx_plan sys)

@@ -28,19 +28,29 @@ val candidate_bases : Task.system -> int list
     [floor (b_i / 2^j)] not exceeding the smallest window. Always
     non-empty for a non-empty system (contains 1). *)
 
-val schedule_with_base : x:int -> Task.system -> Schedule.t option
-(** Specialize to base [x] and pack. [None] if some window is below [x] or
-    the specialized density exceeds 1. The result satisfies the original
+val plan_with_base : x:int -> Task.system -> Plan.t option
+(** Specialize to base [x] and pack, as a dispatch plan (verified by
+    streaming, never materialized). [None] if some window is below [x] or
+    the specialized density exceeds 1. The plan satisfies the original
     system (multi-unit tasks are decomposed into exact-period copies). *)
+
+val schedule_with_base : x:int -> Task.system -> Schedule.t option
+(** [plan_with_base] materialized: the eager path is {e derived from} the
+    plan, so the two are slot-for-slot equal by construction. *)
 
 val sa : Task.system -> Schedule.t option
 (** Single-integer reduction: {!schedule_with_base} with [x = 1].
     Guaranteed to succeed on unit systems of density <= 1/2. *)
 
+val sa_plan : Task.system -> Plan.t option
+
 val sx : Task.system -> Schedule.t option
 (** Multi-base search: tries every {!candidate_bases} value, picks the one
     with the smallest specialized density, and packs. Succeeds whenever
     {!sa} does. *)
+
+val sx_plan : Task.system -> Plan.t option
+(** The plan {!sx} materializes. *)
 
 val sx_base : Task.system -> int option
 (** The base {!sx} would choose (the candidate of minimum specialized

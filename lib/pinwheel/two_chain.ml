@@ -3,7 +3,8 @@ module Q = Pindisk_util.Q
 
 type split = { c : int; d : int }
 
-let is_a_slot { c; d } t = ((t + 1) * c / d) - (t * c / d) > 0
+(* The A-dedication test lives in {!Plan.beatty_hit}; the merge itself is
+   a {!Plan.merge} node, so eager and online consumers share it. *)
 
 let virtual_window split b =
   if b < 1 then invalid_arg "Two_chain.virtual_window: window must be >= 1";
@@ -20,26 +21,18 @@ let virtual_window split b =
 let complement { c; d } = { c = d - c; d }
 
 (* Pack one group on its virtual timeline: specialize the virtual windows
-   with the group's best base, then place with Harmonic. Returns the virtual
-   schedule. *)
+   with the group's best base, then place with Harmonic. Returns the
+   group's dispatch plan (progressions over the virtual timeline). *)
 let pack_group units =
   match units with
-  | [] -> Some (Schedule.make [| Schedule.idle |])
+  | [] -> Some (Plan.progressions []) (* all idle, period 1 *)
   | _ ->
       let sys =
         (* Re-wrap as a unit system for Specialize; keys may repeat, so use
-           positional pseudo-ids and map back through the slots. *)
+           positional pseudo-ids and map back through the assignments. *)
         List.mapi (fun i (_, w) -> Task.unit ~id:i ~b:w) units
       in
       let keys = Array.of_list (List.map fst units) in
-      let remap sched =
-        let slots =
-          Array.init (Schedule.period sched) (fun t ->
-              let v = Schedule.task_at sched t in
-              if v = Schedule.idle then Schedule.idle else keys.(v))
-        in
-        Schedule.make slots
-      in
       (match Specialize.sx_base sys with
       | None -> None
       | Some x -> (
@@ -53,30 +46,25 @@ let pack_group units =
           in
           match Harmonic.pack ~x pairs with
           | None -> None
-          | Some assignments -> Some (remap (Harmonic.schedule_of ~x assignments))))
+          | Some assignments ->
+              Some
+                (Plan.progressions
+                   (List.map
+                      (fun (a : Harmonic.assignment) ->
+                        {
+                          Plan.key = keys.(a.key);
+                          offset = a.offset;
+                          period = a.period;
+                        })
+                      assignments))))
 
-let merge split sched_a sched_b ~max_period =
-  let pa = Schedule.period sched_a and pb = Schedule.period sched_b in
+let merge_plans split plan_a plan_b ~max_period =
+  let pa = Plan.period plan_a and pb = Plan.period plan_b in
   match Intmath.lcm pa pb with
   | exception Intmath.Overflow -> None
   | m ->
       if m > max_period / split.d then None
-      else begin
-        let total = split.d * m in
-        let slots = Array.make total Schedule.idle in
-        let ia = ref 0 and ib = ref 0 in
-        for t = 0 to total - 1 do
-          if is_a_slot split t then begin
-            slots.(t) <- Schedule.task_at sched_a !ia;
-            incr ia
-          end
-          else begin
-            slots.(t) <- Schedule.task_at sched_b !ib;
-            incr ib
-          end
-        done;
-        Some (Schedule.make slots)
-      end
+      else Some (Plan.merge ~c:split.c ~d:split.d plan_a plan_b)
 
 let try_combo sys units_a units_b split ~max_period =
   let shrink split units =
@@ -91,14 +79,14 @@ let try_combo sys units_a units_b split ~max_period =
   match (shrink split units_a, shrink (complement split) units_b) with
   | Some va, Some vb -> (
       match (pack_group va, pack_group vb) with
-      | Some sa, Some sb -> (
-          match merge split sa sb ~max_period with
-          | Some sched when Verify.satisfies sched sys -> Some sched
+      | Some pa, Some pb -> (
+          match merge_plans split pa pb ~max_period with
+          | Some plan when Verify.satisfies_plan plan sys -> Some plan
           | _ -> None)
       | _ -> None)
   | _ -> None
 
-let schedule ?(max_period = 4_000_000) sys =
+let plan ?(max_period = 4_000_000) sys =
   match Task.check_system sys with
   | Error _ -> None
   | Ok () -> (
@@ -120,7 +108,7 @@ let schedule ?(max_period = 4_000_000) sys =
               in
               List.map fst (pairs windows)
             in
-            let exception Found of Schedule.t in
+            let exception Found of Plan.t in
             (try
                List.iter
                  (fun thr ->
@@ -147,11 +135,13 @@ let schedule ?(max_period = 4_000_000) sys =
                                match
                                  try_combo sys units_a units_b { c; d } ~max_period
                                with
-                               | Some sched -> raise (Found sched)
+                               | Some plan -> raise (Found plan)
                                | None -> ())
                            [ ideal; ideal + 1; ideal - 1 ])
                        [ 2; 3; 4; 5; 6; 8; 10; 12 ]
                    end)
                  thresholds;
                None
-             with Found sched -> Some sched))
+             with Found plan -> Some plan))
+
+let schedule ?max_period sys = Option.map Plan.to_schedule (plan ?max_period sys)

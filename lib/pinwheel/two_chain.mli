@@ -26,11 +26,15 @@ val virtual_window : split -> int -> int
     A-task on its virtual timeline. May be [0] (the task cannot be placed
     at this rate). *)
 
-val schedule :
-  ?max_period:int -> Task.system -> Schedule.t option
-(** [schedule sys] searches thresholds partitioning the (unit-decomposed)
+val plan : ?max_period:int -> Task.system -> Plan.t option
+(** [plan sys] searches thresholds partitioning the (unit-decomposed)
     tasks by window size and a small grid of splits, returning the first
-    merged schedule that verifies against [sys]. [max_period] (default
-    [4_000_000]) bounds the merged schedule's period. Returns [None] when
-    the search fails — callers should fall back to {!Specialize.sx} first,
-    which this module does not subsume on single-scale systems. *)
+    merged dispatch plan (a {!Plan.merge} of two progression plans) that
+    verifies against [sys] — by streaming, without materializing the
+    merged hyperperiod. [max_period] (default [4_000_000]) bounds the
+    merged plan's period. Returns [None] when the search fails — callers
+    should fall back to {!Specialize.sx} first, which this module does not
+    subsume on single-scale systems. *)
+
+val schedule : ?max_period:int -> Task.system -> Schedule.t option
+(** {!plan} materialized (slot-for-slot equal by construction). *)

@@ -41,4 +41,92 @@ let check_pc sched ~task ~a ~b =
 let check_task sched (t : Task.t) = check_pc sched ~task:t.Task.id ~a:t.Task.a ~b:t.Task.b
 
 let check_system sched sys = List.filter_map (check_task sched) sys
-let satisfies sched sys = check_system sched sys = []
+
+(* ------------------------------------------------------------------ *)
+(* Streaming verification                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* One pass over a single period collects, per distinct task id, the
+   ascending array of occurrence slots. Total work and memory are
+   O(period + n), versus O(n·period) for checking each task with
+   [window_counts]. *)
+let occurrence_tables ~period next sys =
+  let index = Hashtbl.create 64 in
+  let n_distinct = ref 0 in
+  List.iter
+    (fun (t : Task.t) ->
+      if not (Hashtbl.mem index t.Task.id) then begin
+        Hashtbl.replace index t.Task.id !n_distinct;
+        incr n_distinct
+      end)
+    sys;
+  let bufs = Array.make (max !n_distinct 1) [||] in
+  let lens = Array.make (max !n_distinct 1) 0 in
+  for t = 0 to period - 1 do
+    let v = next () in
+    match Hashtbl.find_opt index v with
+    | None -> ()
+    | Some i ->
+        let cap = Array.length bufs.(i) in
+        if lens.(i) = cap then begin
+          let grown = Array.make (max 4 (2 * cap)) 0 in
+          Array.blit bufs.(i) 0 grown 0 cap;
+          bufs.(i) <- grown
+        end;
+        bufs.(i).(lens.(i)) <- t;
+        lens.(i) <- lens.(i) + 1
+  done;
+  (index, Array.init (max !n_distinct 1) (fun i -> Array.sub bufs.(i) 0 lens.(i)))
+
+(* pc(a, b) over a cyclic schedule of period p, given the ascending
+   occurrence slots occ.(0..c-1) of one period: extend to the biinfinite
+   occurrence sequence O_m = occ.(m mod c) + p·⌊m/c⌋. Every window of b
+   consecutive slots holds >= a occurrences iff O_{m+a} - O_m <= b for
+   all m. (⇐: for a window [s, s+b), let m be minimal with O_m >= s; then
+   O_{m+a-1} <= O_{m-1} + b <= s - 1 + b < s + b, so occurrences
+   m..m+a-1 all land inside. ⇒: the window [O_m + 1, O_m + b] must hold
+   the a occurrences m+1..m+a, so O_{m+a} <= O_m + b.) By periodicity,
+   checking m in [0, c) is exhaustive. *)
+let occ_ok ~period occ ~a ~b =
+  let c = Array.length occ in
+  if c = 0 then false
+  else begin
+    let ok = ref true in
+    let j = ref 0 in
+    while !ok && !j < c do
+      let m = !j + a in
+      let o = occ.(m mod c) + (period * (m / c)) in
+      if o - occ.(!j) > b then ok := false;
+      incr j
+    done;
+    !ok
+  end
+
+let satisfies_seq ~period next sys =
+  if period < 1 then invalid_arg "Verify.satisfies_seq: period must be >= 1";
+  match sys with
+  | [] ->
+      for _ = 1 to period do
+        ignore (next ())
+      done;
+      true
+  | _ ->
+      let index, occs = occurrence_tables ~period next sys in
+      List.for_all
+        (fun (t : Task.t) ->
+          let occ = occs.(Hashtbl.find index t.Task.id) in
+          occ_ok ~period occ ~a:t.Task.a ~b:t.Task.b)
+        sys
+
+let satisfies sched sys =
+  let t = ref 0 in
+  satisfies_seq ~period:(Schedule.period sched)
+    (fun () ->
+      let v = Schedule.task_at sched !t in
+      incr t;
+      v)
+    sys
+
+let satisfies_plan plan sys =
+  let d = Plan.create plan in
+  satisfies_seq ~period:(Plan.period plan) (Plan.pull d) sys

@@ -36,6 +36,25 @@ val check_task : Schedule.t -> Task.t -> violation option
 
 val check_system : Schedule.t -> Task.system -> violation list
 (** All violations, empty iff the schedule satisfies every task's
-    condition. *)
+    condition. O(n·period) — use {!satisfies} when only the boolean is
+    needed. *)
 
 val satisfies : Schedule.t -> Task.system -> bool
+(** Streaming form of [check_system _ _ = []]: one O(period) pass collects
+    per-task occurrence slots, then [pc(a, b)] is checked as a gap
+    condition on consecutive occurrence indices ([O_{m+a} - O_m <= b],
+    wrapping across periods), for O(period + n) total instead of
+    O(n·period). Agrees exactly with the window-counting verifier (the
+    test suite cross-checks the two on random schedules). *)
+
+val satisfies_seq : period:int -> (unit -> int) -> Task.system -> bool
+(** [satisfies_seq ~period next sys] verifies a cyclic schedule presented
+    as a stream: [next ()] is called exactly [period] times, yielding the
+    task id (or {!Schedule.idle}) of slots [0..period-1] in order. This is
+    how plans are verified without materializing a hyperperiod array.
+    Raises [Invalid_argument] when [period < 1]. *)
+
+val satisfies_plan : Plan.t -> Task.system -> bool
+(** [satisfies_seq] driven by a fresh dispatcher over the plan — verifies
+    an online plan in O(period·log n) time and O(period + n) transient
+    memory, without materializing the schedule. *)

@@ -1,0 +1,216 @@
+module Plan = Pindisk_pinwheel.Plan
+module Schedule = Pindisk_pinwheel.Schedule
+module Intmath = Pindisk_util.Intmath
+module Stats = Pindisk_util.Stats
+module Obs = Pindisk_obs
+
+let obs_requests = Obs.Registry.counter "drive.requests"
+let obs_completed = Obs.Registry.counter "drive.completed"
+let obs_missed = Obs.Registry.counter "drive.missed"
+let obs_losses = Obs.Registry.counter "drive.losses"
+let obs_slots = Obs.Registry.counter "drive.slots"
+let obs_wait = Obs.Registry.histogram "drive.wait"
+let obs_file_wait f = Obs.Registry.histogram (Printf.sprintf "drive.wait.%d" f)
+let obs_file_miss f = Obs.Registry.counter (Printf.sprintf "drive.miss.%d" f)
+
+(* One period of warm-up dispatch counts occurrences per file: enough to
+   validate requests and compute the data cycle, in O(period·log n) time
+   and O(files) memory — no slot array. *)
+let occurrences_per_period plan =
+  let d = Plan.create plan in
+  let occ = Hashtbl.create 64 in
+  for _ = 1 to Plan.period plan do
+    let f = Plan.next d in
+    if f <> Schedule.idle then
+      Hashtbl.replace occ f (1 + Option.value ~default:0 (Hashtbl.find_opt occ f))
+  done;
+  occ
+
+let data_cycle ~plan ~capacity occ =
+  Hashtbl.fold
+    (fun f o acc ->
+      let n = capacity f in
+      Intmath.lcm acc (n / Intmath.gcd n o))
+    occ 1
+  * Plan.period plan
+
+(* Per-request in-flight state during the sweep. *)
+type active = {
+  index : int; (* position in the original trace: fixes fault seed and
+                  aggregation order *)
+  req : Workload.request;
+  fault : Fault.t;
+  collected : (int, unit) Hashtbl.t;
+  mutable losses : int;
+  mutable outcome : int option option;
+      (* None = in flight; Some None = expired; Some (Some t) = done at t *)
+}
+
+let run ?max_slots ~plan ~capacities ~fault ~seed trace =
+  let caps = Hashtbl.create 16 in
+  List.iter
+    (fun (f, n) ->
+      if n < 1 then invalid_arg "Drive.run: capacity must be >= 1";
+      Hashtbl.replace caps f n)
+    capacities;
+  let capacity f =
+    match Hashtbl.find_opt caps f with
+    | Some n -> n
+    | None -> invalid_arg "Drive.run: file not in plan capacities"
+  in
+  let occ = occurrences_per_period plan in
+  let max_slots =
+    match max_slots with
+    | Some m -> m
+    | None -> 100 * data_cycle ~plan ~capacity occ
+  in
+  (* Validate every request up front, in trace order, mirroring
+     [Client.retrieve]'s checks. *)
+  List.iter
+    (fun (r : Workload.request) ->
+      if r.Workload.issued < 0 then invalid_arg "Drive.run: negative start";
+      if r.Workload.needed < 1 then invalid_arg "Drive.run: needed must be >= 1";
+      if r.Workload.needed > capacity r.Workload.file then
+        invalid_arg "Drive.run: needed exceeds the file's capacity";
+      if not (Hashtbl.mem occ r.Workload.file) then
+        invalid_arg "Drive.run: file never broadcast")
+    trace;
+  let states =
+    List.mapi
+      (fun k (r : Workload.request) ->
+        {
+          index = k;
+          req = r;
+          fault = fault ~seed:(Intmath.mix64 (seed + k));
+          collected = Hashtbl.create 16;
+          losses = 0;
+          outcome = None;
+        })
+      trace
+  in
+  (* Single pass over the slot axis: one dispatcher serves every request.
+     Requests activate at their issue slot (fault process reset there, then
+     advanced once per slot, exactly as the per-request client does) and
+     retire on completion or after [max_slots]. *)
+  let pending =
+    List.stable_sort
+      (fun a b -> compare a.req.Workload.issued b.req.Workload.issued)
+      states
+  in
+  let pending = ref pending in
+  let active = ref [] in
+  let counts = Hashtbl.create 16 in
+  let disp = Plan.create plan in
+  let slots_swept = ref 0 in
+  let t = ref 0 in
+  while !pending <> [] || !active <> [] do
+    (* Activate requests issued at this slot. *)
+    let rec activate () =
+      match !pending with
+      | s :: rest when s.req.Workload.issued = !t ->
+          Fault.reset_to s.fault !t;
+          active := s :: !active;
+          pending := rest;
+          activate ()
+      | _ -> ()
+    in
+    activate ();
+    (* Expire requests that exhausted their window. *)
+    active :=
+      List.filter
+        (fun s ->
+          if !t - s.req.Workload.issued >= max_slots then begin
+            s.outcome <- Some None;
+            false
+          end
+          else true)
+        !active;
+    let broadcast =
+      let f = Plan.next disp in
+      incr slots_swept;
+      if f = Schedule.idle then None
+      else begin
+        let c = Option.value ~default:0 (Hashtbl.find_opt counts f) in
+        Hashtbl.replace counts f (c + 1);
+        Some (f, c mod capacity f)
+      end
+    in
+    List.iter
+      (fun s ->
+        let lost = Fault.advance s.fault in
+        match broadcast with
+        | Some (f, idx) when f = s.req.Workload.file ->
+            if lost then s.losses <- s.losses + 1
+            else begin
+              if not (Hashtbl.mem s.collected idx) then
+                Hashtbl.replace s.collected idx ();
+              if Hashtbl.length s.collected >= s.req.Workload.needed then
+                s.outcome <- Some (Some !t)
+            end
+        | _ -> ())
+      !active;
+    active := List.filter (fun s -> s.outcome = None) !active;
+    incr t
+  done;
+  (* Aggregate in original trace order — the same fold the eager engine
+     performs, so the results (including float accumulation order) agree
+     exactly. *)
+  let global = Stats.create () in
+  let per_file : (int, int ref * int ref * Stats.t) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let file_entry f =
+    match Hashtbl.find_opt per_file f with
+    | Some e -> e
+    | None ->
+        let e = (ref 0, ref 0, Stats.create ()) in
+        Hashtbl.add per_file f e;
+        e
+  in
+  let obs = Obs.Control.enabled () in
+  if obs then Obs.Registry.add obs_slots !slots_swept;
+  let completed = ref 0 and missed = ref 0 and losses = ref 0 in
+  List.iter
+    (fun s ->
+      let file = s.req.Workload.file in
+      let reqs, miss, lat = file_entry file in
+      incr reqs;
+      losses := !losses + s.losses;
+      if obs then Obs.Registry.incr obs_requests;
+      let record_miss () =
+        incr missed;
+        incr miss;
+        if obs then begin
+          Obs.Registry.incr obs_missed;
+          Obs.Registry.incr (obs_file_miss file)
+        end
+      in
+      match s.outcome with
+      | Some (Some slot) ->
+          let e = slot - s.req.Workload.issued + 1 in
+          incr completed;
+          Stats.add_int global e;
+          Stats.add_int lat e;
+          if obs then begin
+            Obs.Registry.incr obs_completed;
+            Obs.Histogram.observe obs_wait e;
+            Obs.Histogram.observe (obs_file_wait file) e
+          end;
+          if e > s.req.Workload.deadline then record_miss ()
+      | Some None | None -> record_miss ())
+    states;
+  if obs then Obs.Registry.add obs_losses !losses;
+  {
+    Engine.requests = List.length trace;
+    completed = !completed;
+    missed = !missed;
+    latency = global;
+    losses = !losses;
+    per_file =
+      Hashtbl.fold
+        (fun file (reqs, miss, lat) acc ->
+          { Engine.file; requests = !reqs; missed = !miss; latency = lat }
+          :: acc)
+        per_file []
+      |> List.sort (fun (a : Engine.file_stats) b -> compare a.file b.file);
+  }

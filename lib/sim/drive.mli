@@ -1,0 +1,48 @@
+(** Population simulation driven by the online dispatcher.
+
+    {!Engine.run} retrieves each request independently against a
+    materialized {!Pindisk.Program} — per request, it re-walks the slot
+    axis through [Program.block_at], whose per-file prefix arrays cost
+    O(files · period) memory. This engine instead sweeps the slot axis
+    {e once} with a single {!Pindisk_pinwheel.Plan} dispatcher, carrying
+    all in-flight requests along: block indices come from per-file
+    occurrence counters (cycling each file's capacity, matching
+    [Program.block_at] with zero phases), and each request still owns its
+    independent fault process — request [k] gets
+    [fault ~seed:(Intmath.mix64 (seed + k))], reset at its issue slot and
+    advanced once per slot, exactly like {!Client.retrieve}.
+
+    On a program built with [Program.make] from the plan's materialized
+    schedule (zero phases), [run] returns a result {e equal} to
+    {!Engine.run}'s — aggregation happens in trace order, so even the
+    float accumulation order of the latency statistics matches. The test
+    suite pins this equivalence.
+
+    Observability (all under the [drive.*] namespace, recorded only when
+    {!Pindisk_obs.Control.enabled}): [drive.requests] / [drive.completed]
+    / [drive.missed] / [drive.losses] counters, the dispatch-latency
+    histogram [drive.wait] (slots from issue to completion) with per-file
+    mirrors [drive.wait.N] / [drive.miss.N], and [drive.slots] — the total
+    slots dispatched by the sweep (one bulk add per run; the per-slot hot
+    loop is never instrumented). *)
+
+val occurrences_per_period :
+  Pindisk_pinwheel.Plan.t -> (int, int) Hashtbl.t
+(** Occurrences of each file in one plan period, computed by a one-period
+    warm-up dispatch: O(period·log n) time, O(files) memory, no slot
+    array. *)
+
+val run :
+  ?max_slots:int ->
+  plan:Pindisk_pinwheel.Plan.t ->
+  capacities:(int * int) list ->
+  fault:(seed:int -> Fault.t) ->
+  seed:int ->
+  Workload.request list ->
+  Engine.result
+(** [run ~plan ~capacities ~fault ~seed trace] sweeps the slot axis once
+    and retires every request. [max_slots] is each request's retrieval
+    window (default [100 ·] the plan's data cycle, as for
+    {!Client.retrieve}). Raises [Invalid_argument] on a request naming an
+    unknown or never-broadcast file, [needed < 1] or beyond the file's
+    capacity, or a negative issue slot. *)

@@ -56,6 +56,82 @@ let source_blocks t file =
   | Some s -> s.m
   | None -> raise Not_found
 
+(* ------------------------------------------------------------------ *)
+(* Online streaming: air the program from a dispatch plan               *)
+(* ------------------------------------------------------------------ *)
+
+type streamer = {
+  transport : t;
+  disp : Pindisk_pinwheel.Plan.dispatcher;
+  counts : (int, int) Hashtbl.t;
+}
+
+let obs_streamed = Obs.Registry.counter "sim.transport.streamed"
+
+let streamer t plan =
+  { transport = t; disp = Pindisk_pinwheel.Plan.create plan; counts = Hashtbl.create 16 }
+
+let streamer_slot s = Pindisk_pinwheel.Plan.slot s.disp
+
+let stream_next s =
+  let slot = Pindisk_pinwheel.Plan.slot s.disp in
+  match Pindisk_pinwheel.Plan.next s.disp with
+  | f when f = Pindisk_pinwheel.Schedule.idle -> None
+  | f ->
+      let stored =
+        match Hashtbl.find_opt s.transport.store f with
+        | Some st -> st
+        | None -> invalid_arg "Transport.stream_next: file not stored"
+      in
+      let c = Option.value ~default:0 (Hashtbl.find_opt s.counts f) in
+      Hashtbl.replace s.counts f (c + 1);
+      let piece = stored.pieces.(c mod Array.length stored.pieces) in
+      Obs.Trace.record (Obs.Trace.Slot { slot; file = f; index = piece.Ida.index });
+      Some (f, piece)
+
+let retrieve_streamed ?max_slots s ~file ~fault () =
+  let stored =
+    match Hashtbl.find_opt s.transport.store file with
+    | Some st -> st
+    | None -> invalid_arg "Transport.retrieve_streamed: unknown file"
+  in
+  let max_slots =
+    match max_slots with
+    | Some m -> m
+    | None -> 100 * Program.data_cycle s.transport.program
+  in
+  let start = streamer_slot s in
+  Fault.reset_to fault start;
+  let obs = Obs.Control.enabled () in
+  if obs then Obs.Registry.incr obs_requests;
+  let collected = Hashtbl.create 16 in
+  let result = ref None in
+  let streamed = ref 0 in
+  while !result = None && streamer_slot s - start < max_slots do
+    let lost = Fault.advance fault in
+    let slot = streamer_slot s in
+    incr streamed;
+    (match stream_next s with
+    | Some (f, piece) when f = file && not lost ->
+        if not (Hashtbl.mem collected piece.Ida.index) then begin
+          Hashtbl.replace collected piece.Ida.index piece;
+          if Hashtbl.length collected >= stored.m then begin
+            let pieces = Hashtbl.fold (fun _ p acc -> p :: acc) collected [] in
+            result := Some (Ida.reconstruct stored.ida ~length:stored.length pieces);
+            if obs then begin
+              Obs.Registry.incr obs_reconstructs;
+              Obs.Histogram.observe obs_wait (slot - start + 1);
+              Obs.Trace.record
+                (Obs.Trace.Reconstruct
+                   { file; pieces = stored.m; bytes = stored.length })
+            end
+          end
+        end
+    | Some _ | None -> ())
+  done;
+  if obs then Obs.Registry.add obs_streamed !streamed;
+  !result
+
 let retrieve ?max_slots ?report t ~file ~start ~fault () =
   if start < 0 then invalid_arg "Transport.retrieve: negative start";
   let s =

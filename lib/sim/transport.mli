@@ -27,6 +27,40 @@ val source_blocks : t -> int -> int
 (** The [m] a client needs for the file; raises [Not_found] for unknown
     files. *)
 
+(** {1 Online streaming}
+
+    The eager air path ({!on_air}) asks [Program.block_at] for each slot,
+    which needs the materialized schedule and its per-file prefix arrays.
+    A {!streamer} instead airs the program straight from a
+    {!Pindisk_pinwheel.Plan} dispatcher: per-file occurrence counters
+    cycle each file's pieces, so for a plan that materializes to the
+    program's schedule (and zero phases) the streamed sequence equals
+    {!on_air} slot for slot — with O(files + tasks) state. *)
+
+type streamer
+
+val streamer : t -> Pindisk_pinwheel.Plan.t -> streamer
+(** A streamer positioned at slot 0. The plan should materialize to the
+    transport's program schedule (the tests pin the equivalence); this is
+    not checked here — a mismatched plan simply airs a different
+    program. *)
+
+val streamer_slot : streamer -> int
+(** The next slot {!stream_next} will air. *)
+
+val stream_next : streamer -> (int * Pindisk_ida.Ida.piece) option
+(** The (file, piece) aired in the current slot ([None] when idle);
+    advances the streamer. Matches [on_air t slot] for zero-phase
+    programs. *)
+
+val retrieve_streamed :
+  ?max_slots:int -> streamer -> file:int -> fault:Fault.t -> unit ->
+  bytes option
+(** Like {!retrieve}, but tuning in at the streamer's {e current} position
+    and consuming {!stream_next} — the client and the server share one
+    online dispatch, no schedule materialized. The streamer advances past
+    the slots consumed. *)
+
 val retrieve :
   ?max_slots:int -> ?report:(slot:int -> file:int -> lost:bool -> unit) ->
   t -> file:int -> start:int -> fault:Fault.t -> unit ->

@@ -1,0 +1,181 @@
+(* Benchmark-regression gate.
+
+   Compares a fresh quick-mode benchmark artifact (BENCH_sched.json /
+   BENCH_codec.json) against the committed baseline in bench/baselines/
+   and exits non-zero when a headline metric regresses beyond the
+   tolerance band. Run by `make bench-gate` and by the bench-gate CI job.
+
+   Only scale-free ratios are gated — speedups and memory ratios — never
+   raw ns/slot or MB/s, which vary wildly across runner hardware. Each
+   metric additionally carries a fixed floor from the acceptance criteria
+   (e.g. online dispatch must beat eager materialization >= 10x at
+   n >= 1024), so a slow-but-uniform runner cannot mask a real
+   regression by dragging the baseline comparison down with it.
+
+     bench_gate --kind sched --fresh BENCH_sched.json
+                --baseline bench/baselines/BENCH_sched.baseline.json
+                --summary bench_gate_summary.md [--append]
+                [--tolerance 1.8] [--inject-slowdown 2.0]
+
+   --inject-slowdown F divides every higher-is-better fresh metric by F
+   before gating; CI uses it to prove the gate actually fails on a 2x
+   slowdown (a gate that cannot fail gates nothing). *)
+
+module Json = Pindisk_check.Json
+
+type direction = Higher_is_better | Lower_is_better
+
+type check = {
+  metric : string;
+  dir : direction;
+  floor : float option; (* absolute bound regardless of baseline *)
+  gate_vs_baseline : bool; (* also compare against baseline/tolerance *)
+}
+
+let sched_checks =
+  [
+    { metric = "dispatch_speedup_n1024"; dir = Higher_is_better;
+      floor = Some 10.0; gate_vs_baseline = true };
+    { metric = "dispatch_speedup_n4096"; dir = Higher_is_better;
+      floor = Some 10.0; gate_vs_baseline = true };
+    (* Dispatcher memory must not follow the hyperperiod: a 256x deeper
+       hyperperiod may cost the online state at most 1.5x. Pure
+       structure, no baseline comparison needed. *)
+    { metric = "online_memory_ratio_deep_over_base_n4096";
+      dir = Lower_is_better; floor = Some 1.5; gate_vs_baseline = false };
+  ]
+
+let codec_checks =
+  [
+    { metric = "disperse_m8_64KiB_table_over_baseline";
+      dir = Higher_is_better; floor = Some 1.5; gate_vs_baseline = true };
+  ]
+
+let usage () =
+  prerr_endline
+    "usage: bench_gate --kind sched|codec --fresh F --baseline B \
+     --summary OUT.md [--append] [--tolerance R] [--inject-slowdown F]";
+  exit 2
+
+let parse_args () =
+  let kind = ref "" and fresh = ref "" and baseline = ref "" in
+  let summary = ref "" and append = ref false in
+  let tolerance = ref 1.8 and slowdown = ref 1.0 in
+  let rec go = function
+    | [] -> ()
+    | "--kind" :: v :: rest -> kind := v; go rest
+    | "--fresh" :: v :: rest -> fresh := v; go rest
+    | "--baseline" :: v :: rest -> baseline := v; go rest
+    | "--summary" :: v :: rest -> summary := v; go rest
+    | "--append" :: rest -> append := true; go rest
+    | "--tolerance" :: v :: rest -> tolerance := float_of_string v; go rest
+    | "--inject-slowdown" :: v :: rest -> slowdown := float_of_string v; go rest
+    | a :: _ -> Printf.eprintf "bench_gate: unknown argument %s\n" a; usage ()
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  if !kind = "" || !fresh = "" || !baseline = "" || !summary = "" then usage ();
+  (!kind, !fresh, !baseline, !summary, !append, !tolerance, !slowdown)
+
+let load path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  match Json.of_string s with
+  | Ok j -> j
+  | Error e -> Printf.eprintf "bench_gate: %s: %s\n" path e; exit 2
+
+let get_metric path j name =
+  match Json.get_float name j with
+  | Ok v -> v
+  | Error _ ->
+      Printf.eprintf "bench_gate: %s: missing headline metric %s\n" path name;
+      exit 2
+
+type row = {
+  name : string;
+  fresh_v : float;
+  base_v : float;
+  bound : float; (* the effective gate the fresh value is held to *)
+  better : string; (* "higher" | "lower" *)
+  ok : bool;
+}
+
+let () =
+  let kind, fresh_p, base_p, summary_p, append, tol, slowdown = parse_args () in
+  let checks =
+    match kind with
+    | "sched" -> sched_checks
+    | "codec" -> codec_checks
+    | k -> Printf.eprintf "bench_gate: unknown kind %s\n" k; usage ()
+  in
+  let fresh = load fresh_p and base = load base_p in
+  let rows =
+    List.map
+      (fun c ->
+        let fv0 = get_metric fresh_p fresh c.metric in
+        let bv = get_metric base_p base c.metric in
+        let fv =
+          match c.dir with
+          | Higher_is_better -> fv0 /. slowdown
+          | Lower_is_better -> fv0 *. slowdown
+        in
+        match c.dir with
+        | Higher_is_better ->
+            (* Must clear the baseline within tolerance, and any floor. *)
+            let bound =
+              let vs_base = if c.gate_vs_baseline then bv /. tol else 0.0 in
+              Float.max vs_base (Option.value c.floor ~default:0.0)
+            in
+            { name = c.metric; fresh_v = fv; base_v = bv; bound;
+              better = "higher"; ok = fv >= bound }
+        | Lower_is_better ->
+            let bound =
+              let vs_base =
+                if c.gate_vs_baseline then bv *. tol else infinity
+              in
+              Float.min vs_base (Option.value c.floor ~default:infinity)
+            in
+            { name = c.metric; fresh_v = fv; base_v = bv; bound;
+              better = "lower"; ok = fv <= bound })
+      checks
+  in
+  let failed = List.filter (fun r -> not r.ok) rows in
+  (* Markdown summary (uploaded as a CI artifact). *)
+  let oc =
+    open_out_gen
+      (if append then [ Open_append; Open_creat ]
+       else [ Open_trunc; Open_creat; Open_wronly ])
+      0o644 summary_p
+  in
+  let out fmt = Printf.fprintf oc fmt in
+  if not append then out "# Benchmark gate\n\n";
+  out "## %s (%s vs %s, tolerance %.2fx%s)\n\n" kind fresh_p base_p tol
+    (if slowdown <> 1.0 then
+       Printf.sprintf ", injected slowdown %.2fx" slowdown
+     else "");
+  out "| metric | fresh | baseline | gate | verdict |\n";
+  out "|---|---|---|---|---|\n";
+  List.iter
+    (fun r ->
+      out "| %s | %.2f | %.2f | %s %.2f | %s |\n" r.name r.fresh_v r.base_v
+        (if r.better = "higher" then ">=" else "<=")
+        r.bound
+        (if r.ok then "pass" else "**FAIL**"))
+    rows;
+  out "\n";
+  close_out oc;
+  List.iter
+    (fun r ->
+      Printf.printf "bench_gate: %-45s fresh %8.2f  baseline %8.2f  gate %s %.2f  %s\n"
+        r.name r.fresh_v r.base_v
+        (if r.better = "higher" then ">=" else "<=")
+        r.bound
+        (if r.ok then "pass" else "FAIL"))
+    rows;
+  if failed <> [] then begin
+    Printf.eprintf "bench_gate: %d/%d %s metrics regressed\n"
+      (List.length failed) (List.length rows) kind;
+    exit 1
+  end;
+  Printf.printf "bench_gate: %s ok (%d metrics)\n" kind (List.length rows)

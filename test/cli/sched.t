@@ -1,0 +1,47 @@
+The --online flag runs the lazy dispatcher next to the eager schedule
+and checks them slot for slot (the density pre-check verdict rides
+along):
+
+  $ pindisk schedule -t 1/2 -t 1/3 --online
+  system: {(0, 1, 2); (1, 1, 3)}
+  density: 5/6
+  pre-check: schedulable (density 5/6 <= 5/6: Kawamura density threshold)
+  schedule (period 2): 0 1
+  online (period 2): 0 1
+  online matches eager over 2 periods: true
+
+  $ pindisk schedule -t 2/5 -t 1/3 --online
+  system: {(0, 2, 5); (1, 1, 3)}
+  density: 11/15
+  pre-check: schedulable (density 11/15 <= 5/6: Kawamura density threshold)
+  schedule (period 3): 0 0 1
+  online (period 3): 0 0 1
+  online matches eager over 2 periods: true
+
+The pre-check rejects the paper's Example-1 family ({2, 3, M}) before
+any construction is attempted:
+
+  $ pindisk schedule -t 1/2 -t 1/3 -t 1/12 --online
+  system: {(0, 1, 2); (1, 1, 3); (2, 1, 12)}
+  density: 11/12
+  pre-check: infeasible (contains {2, 3, _}: infeasible for every third task)
+  pindisk: no schedule found by auto
+  [124]
+
+sched-bench --check replays online against eager over two hyperperiods
+for each size of the e21 family:
+
+  $ pindisk sched-bench --check
+  n=16: period 64, online matches eager over 2 periods: true
+  n=64: period 256, online matches eager over 2 periods: true
+  n=256: period 1024, online matches eager over 2 periods: true
+
+  $ pindisk sched-bench --check -n 8 -n 32
+  n=8: period 32, online matches eager over 2 periods: true
+  n=32: period 128, online matches eager over 2 periods: true
+
+Sizes must be powers of two (the family's windows are dyadic):
+
+  $ pindisk sched-bench --check -n 12
+  pindisk: sizes must be powers of two >= 8
+  [124]

@@ -737,6 +737,141 @@ let test_gen_multi_unit () =
     sys;
   check_bool "density bounded" true (Q.to_float (Task.system_density sys) <= 0.8 +. 1e-9)
 
+(* ------------------------------------------------------------------ *)
+(* Plan / Online dispatcher                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Plan = P.Plan
+module Online = P.Online
+module Density = P.Density
+
+(* The tentpole equivalence: the online dispatcher replayed for two full
+   periods is slot-for-slot the eager schedule, on generated feasible
+   systems — unit and multi-unit, across every algorithm Auto reaches. *)
+let prop_online_matches_eager =
+  QCheck2.Test.make ~name:"online dispatch replays the eager schedule"
+    ~count:120
+    QCheck2.Gen.(triple bool (int_range 1 8) (int_bound 1_000_000))
+    (fun (multi, n, seed) ->
+      let sys =
+        if multi then Gen.multi_unit_system ~seed ~n ~max_a:2 ~max_b:12 ~target:0.8
+        else Gen.unit_system_with_density ~seed ~n ~max_b:32 ~target:0.8
+      in
+      match (Scheduler.plan sys, Scheduler.schedule sys) with
+      | None, None -> true
+      | Some _, None | None, Some _ -> false (* both paths must agree *)
+      | Some plan, Some sched ->
+          let p = Plan.period plan in
+          p = Schedule.period sched
+          && (let d = Plan.create plan in
+              let ok = ref true in
+              for t = 0 to (2 * p) - 1 do
+                if Plan.next d <> Schedule.task_at sched t then ok := false
+              done;
+              !ok))
+
+let prop_online_take_reset =
+  QCheck2.Test.make ~name:"Online.take/reset are consistent with to_schedule"
+    ~count:60
+    QCheck2.Gen.(pair (int_range 1 6) (int_bound 1_000_000))
+    (fun (n, seed) ->
+      let sys = Gen.unit_system_with_density ~seed ~n ~max_b:16 ~target:0.6 in
+      match Online.of_system sys with
+      | None -> true
+      | Some o ->
+          let p = Online.period o in
+          let first = Online.take o p in
+          Online.reset o;
+          let again = Online.take o p in
+          let sched = Online.to_schedule o in
+          first = again
+          && first = Array.init p (Schedule.task_at sched)
+          && Online.slot o = p)
+
+(* Streaming verification agrees with the seed verifier — including on
+   schedules that violate their system (windows drawn independently of
+   the slots, so plenty of violations are generated). *)
+let prop_streaming_verify_agrees =
+  QCheck2.Test.make ~name:"streaming satisfies = check_system on random schedules"
+    ~count:300
+    QCheck2.Gen.(
+      triple (int_range 1 12)
+        (list_size (int_range 1 24) (int_range (-1) 3))
+        (int_bound 1_000_000))
+    (fun (max_b, slots, seed) ->
+      let slots =
+        Array.of_list
+          (List.map (fun v -> if v < 0 then Schedule.idle else v) slots)
+      in
+      let sched = Schedule.make slots in
+      let st = Random.State.make [| seed |] in
+      let sys =
+        List.init 3 (fun id ->
+            Task.unit ~id ~b:(1 + Random.State.int st max_b))
+      in
+      Verify.satisfies sched sys = (Verify.check_system sched sys = []))
+
+let test_satisfies_plan () =
+  let sys = [ Task.unit ~id:0 ~b:2; Task.unit ~id:1 ~b:4; Task.unit ~id:2 ~b:4 ] in
+  match Scheduler.plan sys with
+  | None -> Alcotest.fail "density 1 dyadic system schedules"
+  | Some plan ->
+      check_bool "plan verifies online" true (Verify.satisfies_plan plan sys);
+      check_bool "wrong system rejected" false
+        (Verify.satisfies_plan plan [ Task.unit ~id:5 ~b:2 ])
+
+let test_fold_occurrences () =
+  let s = sched_of_list [ 1; 2; 1; Schedule.idle; 2 ] in
+  let occs = Schedule.fold_occurrences s 1 (fun acc t -> t :: acc) [] in
+  Alcotest.(check (list int)) "fold visits ascending" [ 2; 0 ] occs;
+  check_int "fold count" 2 (Schedule.fold_occurrences s 2 (fun a _ -> a + 1) 0)
+
+(* ------------------------------------------------------------------ *)
+(* Density pre-check                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let is_infeasible = function Density.Infeasible _ -> true | _ -> false
+let is_guaranteed = function Density.Guaranteed _ -> true | _ -> false
+
+let test_density_pigeonhole () =
+  let sys = [ Task.unit ~id:0 ~b:2; Task.unit ~id:1 ~b:2; Task.unit ~id:2 ~b:2 ] in
+  check_bool "density 3/2 infeasible" true (is_infeasible (Density.classify sys));
+  check_bool "scheduler short-circuits" true (Scheduler.schedule sys = None)
+
+let test_density_example1 () =
+  (* Paper Example 1 / Holte et al.: {2, 3, M} is infeasible for any M
+     even though its density can be arbitrarily close to 5/6. *)
+  let sys = [ Task.unit ~id:0 ~b:2; Task.unit ~id:1 ~b:3; Task.unit ~id:2 ~b:1000 ] in
+  check_bool "{2,3,M} infeasible" true (is_infeasible (Density.classify sys));
+  check_bool "scheduler returns None" true (Scheduler.schedule sys = None);
+  check_bool "plan returns None" true (Scheduler.plan sys = None)
+
+let test_density_five_sixths_edge () =
+  (* {2, 3} alone sits exactly at density 5/6 with min window 2: the
+     Kawamura bound guarantees it (and ABAB... indeed schedules it). *)
+  let sys = [ Task.unit ~id:0 ~b:2; Task.unit ~id:1 ~b:3 ] in
+  check_bool "exactly 5/6 guaranteed" true (is_guaranteed (Density.classify sys));
+  check_bool "and indeed schedulable" true (Scheduler.schedule sys <> None)
+
+let test_density_half_edge () =
+  let sys = [ Task.unit ~id:0 ~b:4; Task.unit ~id:1 ~b:4 ] in
+  check_bool "density 1/2 guaranteed" true (is_guaranteed (Density.classify sys))
+
+let test_density_unknown () =
+  (* Density 19/20 > 5/6 without the {2,3} pair: no bound applies. *)
+  let sys = [ Task.unit ~id:0 ~b:2; Task.unit ~id:1 ~b:4; Task.unit ~id:2 ~b:5 ] in
+  check_bool "between bounds undecided" true (Density.classify sys = Density.Unknown)
+
+let prop_density_infeasible_is_sound =
+  QCheck2.Test.make ~name:"density Infeasible verdicts never block a schedulable system"
+    ~count:150
+    QCheck2.Gen.(pair (int_range 1 4) (int_bound 1_000_000))
+    (fun (n, seed) ->
+      let sys = Gen.unit_system ~seed ~n ~max_b:8 in
+      match Density.classify sys with
+      | Density.Infeasible _ -> Exact.is_feasible sys <> Some true
+      | Density.Guaranteed _ | Density.Unknown -> true)
+
 let () =
   Alcotest.run "pinwheel"
     [
@@ -859,4 +994,26 @@ let () =
           Alcotest.test_case "density bounded" `Quick test_gen_density_bounded;
           Alcotest.test_case "multi-unit" `Quick test_gen_multi_unit;
         ] );
+      ( "online",
+        [
+          Alcotest.test_case "satisfies_plan" `Quick test_satisfies_plan;
+          Alcotest.test_case "fold_occurrences" `Quick test_fold_occurrences;
+        ] );
+      ( "online-properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_online_matches_eager;
+            prop_online_take_reset;
+            prop_streaming_verify_agrees;
+          ] );
+      ( "density",
+        [
+          Alcotest.test_case "pigeonhole" `Quick test_density_pigeonhole;
+          Alcotest.test_case "example 1 family" `Quick test_density_example1;
+          Alcotest.test_case "5/6 edge" `Quick test_density_five_sixths_edge;
+          Alcotest.test_case "1/2 edge" `Quick test_density_half_edge;
+          Alcotest.test_case "unknown band" `Quick test_density_unknown;
+        ] );
+      ( "density-properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_density_infeasible_is_sound ] );
     ]

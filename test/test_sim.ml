@@ -648,6 +648,163 @@ let test_engine_pp_result_lists_per_file_ratios () =
         (contains rendered line))
     r.Engine.per_file
 
+(* ------------------------------------------------------------------ *)
+(* Drive: the online-dispatch population engine                        *)
+(* ------------------------------------------------------------------ *)
+
+module Drive = Pindisk_sim.Drive
+module Pw = Pindisk_pinwheel
+
+let stats_eq label (a : Stats.t) (b : Stats.t) =
+  check_int (label ^ " count") (Stats.count a) (Stats.count b);
+  if Stats.count a > 0 then begin
+    Alcotest.(check (float 0.0)) (label ^ " total") (Stats.total a) (Stats.total b);
+    Alcotest.(check (float 0.0)) (label ^ " min") (Stats.min_value a) (Stats.min_value b);
+    Alcotest.(check (float 0.0)) (label ^ " max") (Stats.max_value a) (Stats.max_value b);
+    Alcotest.(check (float 0.0)) (label ^ " median") (Stats.median a) (Stats.median b)
+  end
+
+let result_eq (a : Engine.result) (b : Engine.result) =
+  check_int "requests" a.Engine.requests b.Engine.requests;
+  check_int "completed" a.Engine.completed b.Engine.completed;
+  check_int "missed" a.Engine.missed b.Engine.missed;
+  check_int "losses" a.Engine.losses b.Engine.losses;
+  stats_eq "latency" a.Engine.latency b.Engine.latency;
+  check_int "per-file count" (List.length a.Engine.per_file)
+    (List.length b.Engine.per_file);
+  List.iter2
+    (fun (fa : Engine.file_stats) (fb : Engine.file_stats) ->
+      check_int "file" fa.Engine.file fb.Engine.file;
+      check_int "file requests" fa.Engine.requests fb.Engine.requests;
+      check_int "file missed" fa.Engine.missed fb.Engine.missed;
+      stats_eq "file latency" fa.Engine.latency fb.Engine.latency)
+    a.Engine.per_file b.Engine.per_file
+
+(* A dyadic 4-file broadcast system (density 1/2) whose plan and program
+   are two views of the same construction. *)
+let drive_plan_and_program () =
+  let sys =
+    [ Pw.Task.unit ~id:0 ~b:4; Pw.Task.unit ~id:1 ~b:8;
+      Pw.Task.unit ~id:2 ~b:16; Pw.Task.unit ~id:3 ~b:16 ]
+  in
+  let plan =
+    match Pw.Scheduler.plan sys with
+    | Some p -> p
+    | None -> Alcotest.fail "dyadic density-1/2 system schedules"
+  in
+  let capacities = [ (0, 4); (1, 2); (2, 2); (3, 1) ] in
+  (plan, Program.make ~schedule:(Pw.Plan.to_schedule plan) ~capacities,
+   capacities)
+
+let drive_trace () =
+  List.concat_map
+    (fun k ->
+      let file = k mod 4 in
+      [
+        { Workload.issued = 3 * k; file; needed = (if file = 0 then 2 else 1);
+          deadline = 60 };
+        (* A hopeless deadline, to exercise the missed path in both. *)
+        { Workload.issued = (3 * k) + 1; file; needed = 1; deadline = 0 };
+      ])
+    (List.init 12 Fun.id)
+
+let test_drive_equals_engine_error_free () =
+  let plan, program, capacities = drive_plan_and_program () in
+  let fault ~seed:_ = Fault.none () in
+  let trace = drive_trace () in
+  result_eq
+    (Engine.run ~program ~fault ~seed:3 trace)
+    (Drive.run ~plan ~capacities ~fault ~seed:3 trace)
+
+let test_drive_equals_engine_under_loss () =
+  let plan, program, capacities = drive_plan_and_program () in
+  let fault ~seed = Fault.bernoulli ~p:0.25 ~seed in
+  let trace = drive_trace () in
+  let r = Engine.run ~program ~fault ~seed:17 trace in
+  result_eq r (Drive.run ~plan ~capacities ~fault ~seed:17 trace);
+  check_bool "losses happened" true (r.Engine.losses > 0);
+  (* Same equivalence at a different max_slots cap. *)
+  result_eq
+    (Engine.run ~max_slots:24 ~program ~fault ~seed:17 trace)
+    (Drive.run ~max_slots:24 ~plan ~capacities ~fault ~seed:17 trace)
+
+let test_drive_occurrences_per_period () =
+  let plan, program, _ = drive_plan_and_program () in
+  let occ = Drive.occurrences_per_period plan in
+  List.iter
+    (fun f ->
+      check_int
+        (Printf.sprintf "file %d occurrences" f)
+        (Program.occurrences_per_period program f)
+        (Option.value (Hashtbl.find_opt occ f) ~default:0))
+    (Program.files program)
+
+let test_drive_validation () =
+  let plan, _, capacities = drive_plan_and_program () in
+  let run trace =
+    ignore (Drive.run ~plan ~capacities ~fault:(fun ~seed:_ -> Fault.none ())
+              ~seed:0 trace)
+  in
+  Alcotest.check_raises "unknown file"
+    (Invalid_argument "Drive.run: file not in plan capacities") (fun () ->
+      run [ { Workload.issued = 0; file = 9; needed = 1; deadline = 5 } ]);
+  Alcotest.check_raises "needed beyond capacity"
+    (Invalid_argument "Drive.run: needed exceeds the file's capacity")
+    (fun () ->
+      run [ { Workload.issued = 0; file = 3; needed = 2; deadline = 5 } ])
+
+(* ------------------------------------------------------------------ *)
+(* Transport streaming                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let streamed_transport () =
+  let sys = [ Pw.Task.unit ~id:0 ~b:2; Pw.Task.unit ~id:1 ~b:4 ] in
+  let plan =
+    match Pw.Scheduler.plan sys with
+    | Some p -> p
+    | None -> Alcotest.fail "density 3/4 system schedules"
+  in
+  let program =
+    Program.make ~schedule:(Pw.Plan.to_schedule plan)
+      ~capacities:[ (0, 3); (1, 2) ]
+  in
+  let t =
+    Transport.create ~program
+      [ (0, 2, Bytes.of_string "the hot file payload");
+        (1, 1, Bytes.of_string "cold") ]
+  in
+  (t, plan)
+
+let test_streamer_matches_on_air () =
+  let t, plan = streamed_transport () in
+  let s = Transport.streamer t plan in
+  let dc = Program.data_cycle (Transport.program t) in
+  for slot = 0 to (2 * dc) - 1 do
+    check_int "position" slot (Transport.streamer_slot s);
+    let eager = Transport.on_air t slot and streamed = Transport.stream_next s in
+    check_bool
+      (Printf.sprintf "slot %d agrees" slot)
+      true (eager = streamed)
+  done
+
+let test_retrieve_streamed_roundtrip () =
+  let t, plan = streamed_transport () in
+  let s = Transport.streamer t plan in
+  (* Advance into the cycle first: tuning in mid-stream must still work. *)
+  for _ = 1 to 5 do ignore (Transport.stream_next s) done;
+  (match Transport.retrieve_streamed s ~file:0 ~fault:(Fault.none ()) () with
+  | Some bytes ->
+      Alcotest.(check string) "hot file reconstructs" "the hot file payload"
+        (Bytes.to_string bytes)
+  | None -> Alcotest.fail "error-free streamed retrieval completes");
+  match Transport.retrieve_streamed s ~file:1
+          ~fault:(Fault.deterministic (fun t -> t mod 5 = 0)) ()
+  with
+  | Some bytes ->
+      Alcotest.(check string) "cold file survives losses" "cold"
+        (Bytes.to_string bytes)
+  | None -> Alcotest.fail "streamed retrieval under loss completes"
+
 let () =
   Alcotest.run "sim"
     [
@@ -724,5 +881,22 @@ let () =
           Alcotest.test_case "error-free" `Quick test_experiment_error_free;
           Alcotest.test_case "lossy monotone" `Quick test_experiment_lossy_monotone;
           Alcotest.test_case "ida beats flat" `Quick test_experiment_ida_beats_flat_under_loss;
+        ] );
+      ( "drive",
+        [
+          Alcotest.test_case "equals engine (error-free)" `Quick
+            test_drive_equals_engine_error_free;
+          Alcotest.test_case "equals engine (under loss)" `Quick
+            test_drive_equals_engine_under_loss;
+          Alcotest.test_case "occurrences per period" `Quick
+            test_drive_occurrences_per_period;
+          Alcotest.test_case "validation" `Quick test_drive_validation;
+        ] );
+      ( "streaming",
+        [
+          Alcotest.test_case "streamer matches on_air" `Quick
+            test_streamer_matches_on_air;
+          Alcotest.test_case "retrieve_streamed roundtrip" `Quick
+            test_retrieve_streamed_roundtrip;
         ] );
     ]
