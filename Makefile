@@ -1,4 +1,4 @@
-.PHONY: all build test test-metrics bench bench-tables bench-micro bench-codec bench-obs bench-sched bench-gate examples audit doc clean
+.PHONY: all build test test-metrics bench bench-tables bench-micro bench-codec bench-obs bench-sched bench-chaos bench-gate chaos examples audit doc clean
 
 all: build
 
@@ -35,10 +35,21 @@ bench-obs:
 bench-sched:
 	PINDISK_SCHED_QUICK=1 dune exec bench/main.exe -- e21
 
+# Chaos recovery sweep (E22): crash-restart cost vs block-store fault
+# rate; writes BENCH_chaos.json. Slot-domain and fully deterministic.
+bench-chaos:
+	dune exec bench/main.exe -- e22
+
+# Scripted chaos-scenario suite: crashes with restart-from-checkpoint,
+# stuck readers, loss bursts under fixed seeds; fails on any recovery
+# invariant violation. Writes chaos_summary.md (the CI artifact).
+chaos:
+	dune exec -- pindisk chaos --summary chaos_summary.md
+
 # Benchmark-regression gate: compare fresh quick-mode runs against the
 # committed baselines (bench/baselines/), failing on regression beyond
 # the tolerance band. Writes bench_gate_summary.md.
-bench-gate: bench-sched bench-codec
+bench-gate: bench-sched bench-codec bench-chaos
 	dune exec scripts/bench_gate.exe -- \
 	  --kind sched --fresh BENCH_sched.json \
 	  --baseline bench/baselines/BENCH_sched.baseline.json \
@@ -46,6 +57,10 @@ bench-gate: bench-sched bench-codec
 	dune exec scripts/bench_gate.exe -- \
 	  --kind codec --fresh BENCH_codec.json \
 	  --baseline bench/baselines/BENCH_codec.baseline.json \
+	  --summary bench_gate_summary.md --append
+	dune exec scripts/bench_gate.exe -- \
+	  --kind chaos --fresh BENCH_chaos.json \
+	  --baseline bench/baselines/BENCH_chaos.baseline.json \
 	  --summary bench_gate_summary.md --append
 
 # Full test suite with metrics recording force-enabled (determinism

@@ -63,3 +63,117 @@ let run () =
      completely; bursts@.   are harder -- consecutive blocks die together \
      -- yet the pinwheel program@.   still dominates the flat baseline on \
      the tight-deadline files.)@.@."
+
+(* ------------------------------------------------------------------ *)
+(* E22 -- chaos recovery: crash-restart cost and post-crash retrieval  *)
+(* latency as the server-side read-fault rate climbs. Every metric is  *)
+(* in the slot domain (deterministic under the fixed seeds), so the    *)
+(* emitted BENCH_chaos.json gates identically on any runner hardware.  *)
+(* ------------------------------------------------------------------ *)
+
+module Scenario = Pindisk_store.Scenario
+
+type chaos_row = {
+  fail_p : float;
+  recovery : int; (* wall slots from crash until caught up *)
+  latency0 : int; (* retrieval latency for file 0 tuned in pre-crash *)
+  latency1 : int;
+  faulted : int;
+  violations : int;
+}
+
+let chaos_spec ~fail_p =
+  {
+    Scenario.name = Printf.sprintf "bench-crash-f%03.0f" (fail_p *. 1000.0);
+    seed = 131;
+    horizon = 512;
+    checkpoint_every = 16;
+    lookahead = 3;
+    depth = 8;
+    fail_p;
+    slow_p = 0.0;
+    loss_p = 0.0;
+    events = [ Scenario.Crash { at = 100; restart_after = 8 } ];
+    retrievals =
+      [
+        { Scenario.file = 0; tune_in = 98 };
+        { Scenario.file = 1; tune_in = 98 };
+      ];
+    expect_escalation = false;
+  }
+
+let chaos_row ~fail_p =
+  let r = Scenario.run (chaos_spec ~fail_p) in
+  let latency file =
+    match
+      List.find_opt (fun (rt, _) -> rt.Scenario.file = file) r.Scenario.retrieved
+    with
+    | Some ({ Scenario.tune_in; _ }, Ok done_at) -> done_at - tune_in
+    | _ -> -1 (* surfaces as an obvious violation in the artifact *)
+  in
+  {
+    fail_p;
+    recovery =
+      (match r.Scenario.recovery_slots with [ s ] -> s | _ -> -1);
+    latency0 = latency 0;
+    latency1 = latency 1;
+    faulted = r.Scenario.faulted;
+    violations = List.length r.Scenario.violations;
+  }
+
+let write_chaos_json ~path rows =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  let find p = List.find_opt (fun r -> r.fail_p = p) rows in
+  out "{\n";
+  out "  \"bench\": \"chaos\",\n";
+  out "  \"mode\": \"full\",\n";
+  out "  \"violations_total\": %d,\n"
+    (List.fold_left (fun acc r -> acc + r.violations) 0 rows);
+  (match find 0.0 with
+  | Some r ->
+      out "  \"recovery_slots_f0\": %d,\n" r.recovery;
+      out "  \"retrieval_latency_f0\": %d,\n" r.latency0
+  | None -> ());
+  (match (find 0.0, find 0.2) with
+  | Some r0, Some r20 ->
+      out "  \"recovery_slots_f20\": %d,\n" r20.recovery;
+      out "  \"retrieval_latency_f20\": %d,\n" r20.latency0;
+      out "  \"retrieval_latency_ratio_f20_over_f0\": %.3f,\n"
+        (float_of_int r20.latency0 /. float_of_int (max 1 r0.latency0))
+  | _ -> ());
+  out "  \"results\": [\n";
+  List.iteri
+    (fun i r ->
+      out
+        "    {\"fail_p\": %.2f, \"recovery_slots\": %d, \
+         \"retrieval_latency_file0\": %d, \"retrieval_latency_file1\": %d, \
+         \"faulted_slots\": %d, \"violations\": %d}%s\n"
+        r.fail_p r.recovery r.latency0 r.latency1 r.faulted r.violations
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  out "  ]\n}\n";
+  close_out oc
+
+let run_chaos () =
+  Format.printf
+    "== E22 / chaos recovery: crash at slot 100, restart after 8, \
+     checkpoint every 16 ==@.";
+  let rates = [ 0.0; 0.02; 0.05; 0.1; 0.2 ] in
+  let rows = List.map (fun fail_p -> chaos_row ~fail_p) rates in
+  Format.printf "  %-8s %-10s %-12s %-12s %-9s %s@." "fail_p" "recovery"
+    "latency(A)" "latency(B)" "faulted" "violations";
+  List.iter
+    (fun r ->
+      Format.printf "  %6.0f%% %8d %12d %12d %9d %10d@." (100.0 *. r.fail_p)
+        r.recovery r.latency0 r.latency1 r.faulted r.violations)
+    rows;
+  let path =
+    Option.value (Sys.getenv_opt "PINDISK_CHAOS_OUT") ~default:"BENCH_chaos.json"
+  in
+  write_chaos_json ~path rows;
+  Format.printf
+    "  (recovery cost is a property of the checkpoint cadence, not the \
+     fault rate;@.   read faults instead stretch the client-side retrieval \
+     tail. Wrote %s.)@.@."
+    path

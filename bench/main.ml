@@ -29,6 +29,7 @@ let experiments =
     ("e19", "Adaptive degradation: static vs closed-loop", Exp_adaptive.run);
     ("e20", "Codec engine: table-driven GF(256) + domain pool", Exp_codec.run);
     ("e21", "Scheduling scale: online dispatcher vs eager", Exp_sched.run);
+    ("e22", "Chaos recovery: crash-restart cost vs fault rate", Exp_faults.run_chaos);
   ]
 
 let () =

@@ -13,6 +13,9 @@
      stats      -- run a canned deterministic pipeline with the
                    observability layer enabled and emit the metrics
                    snapshot as JSON (or re-print a saved snapshot)
+     chaos      -- run the scripted fault-injection scenario suite
+                   (crashes, stuck readers, loss bursts) and check the
+                   recovery invariants
 
    File syntax (repeatable -f): NAME:BLOCKS:LATENCY[:TOLERANCE]
    Task syntax (repeatable -t): A/B  (task needs A of every B slots)
@@ -972,6 +975,89 @@ let simulate_cmd =
         (const (fun () -> run)
         $ setup_logs $ files_arg $ loss $ trials $ seed $ metrics_arg))
 
+(* ---------------- chaos ---------------- *)
+
+let chaos_cmd =
+  let module Scenario = Pindisk_store.Scenario in
+  let summary_line r =
+    let open Scenario in
+    Printf.sprintf "| %s | %s | %d | %d | %d | %d | %s |" r.spec.name
+      (if Scenario.ok r then "ok" else "VIOLATED")
+      r.crashes r.down r.faulted r.replayed
+      (match r.recovery_slots with
+      | [] -> "-"
+      | l -> String.concat ", " (List.map string_of_int l))
+  in
+  let write_summary path reports =
+    let oc = open_out path in
+    output_string oc "# Chaos scenario suite\n\n";
+    output_string oc
+      "| scenario | verdict | crashes | down slots | faulted slots | \
+       replayed slots | recovery (slots) |\n";
+    output_string oc "|---|---|---|---|---|---|---|\n";
+    List.iter (fun r -> output_string oc (summary_line r ^ "\n")) reports;
+    let violations =
+      List.concat_map (fun r -> r.Scenario.violations) reports
+    in
+    if violations <> [] then begin
+      output_string oc "\n## Violations\n\n";
+      List.iter (fun v -> output_string oc ("- " ^ v ^ "\n")) violations
+    end;
+    close_out oc
+  in
+  let run list only summary metrics =
+    with_metrics metrics @@ fun () ->
+    if list then begin
+      List.iter
+        (fun s -> Format.printf "%s@." s.Scenario.name)
+        (Scenario.suite ());
+      `Ok ()
+    end
+    else
+      let specs =
+        match only with
+        | None -> Scenario.suite ()
+        | Some name ->
+            List.filter
+              (fun s -> s.Scenario.name = name)
+              (Scenario.suite ())
+      in
+      if specs = [] then fail "no such scenario"
+      else begin
+        let reports = List.map Scenario.run specs in
+        List.iter (fun r -> Format.printf "%a@." Scenario.pp_report r) reports;
+        Option.iter (fun path -> write_summary path reports) summary;
+        if List.for_all Scenario.ok reports then begin
+          Format.printf "chaos: %d scenario(s), 0 invariant violations@."
+            (List.length reports);
+          `Ok ()
+        end
+        else fail "chaos: invariant violations detected"
+      end
+  in
+  let list =
+    Arg.(value & flag & info [ "list" ] ~doc:"List scenario names and exit.")
+  in
+  let only =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "scenario" ] ~docv:"NAME" ~doc:"Run a single scenario.")
+  in
+  let summary =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "summary" ] ~docv:"FILE"
+          ~doc:"Write a markdown recovery summary to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Scripted fault-injection scenarios with recovery invariants")
+    Term.(
+      ret (const (fun () -> run) $ setup_logs $ list $ only $ summary
+           $ metrics_arg))
+
 let () =
   let info =
     Cmd.info "pindisk" ~version:"1.0.0"
@@ -996,4 +1082,5 @@ let () =
             audit_cmd;
             serve_cmd;
             receive_cmd;
+            chaos_cmd;
           ]))

@@ -2,6 +2,7 @@ module Obs = Pindisk_obs
 
 let obs_decisions = Obs.Registry.counter "adapt.decisions"
 let obs_transitions = Obs.Registry.counter "adapt.transitions"
+let obs_stalls = Obs.Registry.counter "adapt.stalls"
 let obs_boost = Obs.Registry.gauge "adapt.boost"
 
 type t = {
@@ -55,6 +56,18 @@ let decide t ~slot =
         in
         Swap.stage ~slot t.swap ~cause plan.Ladder.program
   end
+
+(* A server-side stall is evidence of total outage for the slots it
+   covered: no client received anything. Feed the estimator one full
+   window of losses — the strongest single observation it accepts — and
+   run a decision immediately, so repeated stalls climb the ladder at
+   the policy's dwell pace exactly like sustained channel loss. *)
+let notify_stall t ~slot =
+  if Obs.Control.enabled () then Obs.Registry.incr obs_stalls;
+  for _ = 1 to Estimator.window t.estimator do
+    Estimator.observe t.estimator ~lost:true
+  done;
+  decide t ~slot
 
 let block_at t slot = Swap.block_at t.swap slot
 let plan t = t.plan

@@ -38,6 +38,15 @@ val decide : t -> slot:int -> unit
 (** End-of-slot: if a fresh estimator window completed, run estimate →
     policy → ladder and stage any program change. *)
 
+val notify_stall : t -> slot:int -> unit
+(** A detected {e server-side} stall (faulted or dead-air slots — e.g. a
+    stuck block-store reader, or a crash-restart outage): feeds the
+    estimator one full window of loss reports (a stall is a total outage
+    for the slots it covered) and runs a decision immediately, so
+    sustained stalls climb the degradation ladder exactly like sustained
+    channel loss — subject to the same policy dwell. Counted by the
+    [adapt.stalls] metric. *)
+
 val block_at : t -> int -> (int * int) option
 (** The (file, block) on air at the slot, per the live program. *)
 

@@ -32,6 +32,7 @@ let observe t ~lost =
   end
 
 let estimate t = if t.windows = 0 then 0.0 else t.ewma
+let window t = t.window
 let last_window t = t.last
 let windows t = t.windows
 let reports t = t.total

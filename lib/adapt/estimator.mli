@@ -32,6 +32,9 @@ val last_window : t -> float
 val windows : t -> int
 (** Completed windows so far. *)
 
+val window : t -> int
+(** The configured reports-per-window size. *)
+
 val reports : t -> int
 (** Total reception reports observed, including the current partial
     window. *)

@@ -11,6 +11,9 @@ type span =
   | Fault_burst of { slot : int; length : int }
   | Reconstruct of { file : int; pieces : int; bytes : int }
   | Hot_swap of { slot : int; cause : string }
+  | Crash of { slot : int }
+  | Recover of { slot : int; replayed : int }
+  | Retry of { file : int; attempt : int; backoff : int }
 
 type event = { tick : int; span : span }
 
@@ -56,5 +59,12 @@ let pp_span ppf = function
         pieces bytes
   | Hot_swap { slot; cause } ->
       Format.fprintf ppf "hot-swap at slot %d: %s" slot cause
+  | Crash { slot } -> Format.fprintf ppf "crash at slot %d" slot
+  | Recover { slot; replayed } ->
+      Format.fprintf ppf "recover at slot %d (replaying %d slots)" slot
+        replayed
+  | Retry { file; attempt; backoff } ->
+      Format.fprintf ppf "retry %d for file %d (backoff %d slots)" attempt
+        file backoff
 
 let pp_event ppf e = Format.fprintf ppf "[%d] %a" e.tick pp_span e.span

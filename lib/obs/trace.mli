@@ -17,6 +17,14 @@ type span =
       (** A file rebuilt from [pieces] dispersed pieces. *)
   | Hot_swap of { slot : int; cause : string }
       (** An adaptive program swap installed at a cycle boundary. *)
+  | Crash of { slot : int }
+      (** The broadcast server died at the slot, losing volatile state. *)
+  | Recover of { slot : int; replayed : int }
+      (** The server restarted from its checkpoint at [slot], re-airing
+          [replayed] slots that had been broadcast after the checkpoint. *)
+  | Retry of { file : int; attempt : int; backoff : int }
+      (** A client re-tuned in for [file] after a failed attempt, having
+          backed off [backoff] slots. *)
 
 type event = { tick : int; span : span }
 

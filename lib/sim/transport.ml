@@ -2,9 +2,25 @@ module Program = Pindisk.Program
 module Ida = Pindisk_ida.Ida
 module Obs = Pindisk_obs
 
+module Schedule = Pindisk_pinwheel.Schedule
+module Plan = Pindisk_pinwheel.Plan
+
 let obs_requests = Obs.Registry.counter "sim.transport.requests"
 let obs_reconstructs = Obs.Registry.counter "sim.transport.reconstructs"
+let obs_retries = Obs.Registry.counter "sim.transport.retries"
 let obs_wait = Obs.Registry.histogram "sim.transport.wait"
+
+type error =
+  | Timeout of { slots : int; collected : int; needed : int }
+  | Unknown_file of int
+  | Reconstruct_failed of string
+
+let pp_error ppf = function
+  | Timeout { slots; collected; needed } ->
+      Format.fprintf ppf "timeout after %d slots (%d of %d pieces)" slots
+        collected needed
+  | Unknown_file f -> Format.fprintf ppf "unknown file %d" f
+  | Reconstruct_failed msg -> Format.fprintf ppf "reconstruct failed: %s" msg
 
 type stored = {
   m : int;
@@ -51,10 +67,17 @@ let on_air t slot =
       Obs.Trace.record (Obs.Trace.Slot { slot; file; index = piece.Ida.index });
       Some (file, piece)
 
-let source_blocks t file =
+let find_source_blocks t file =
   match Hashtbl.find_opt t.store file with
-  | Some s -> s.m
-  | None -> raise Not_found
+  | Some s -> Some s.m
+  | None -> None
+
+let source_blocks t file =
+  match find_source_blocks t file with
+  | Some m -> m
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Transport.source_blocks: unknown file %d" file)
 
 (* ------------------------------------------------------------------ *)
 (* Online streaming: air the program from a dispatch plan               *)
@@ -62,21 +85,47 @@ let source_blocks t file =
 
 type streamer = {
   transport : t;
-  disp : Pindisk_pinwheel.Plan.dispatcher;
+  disp : Plan.dispatcher;
   counts : (int, int) Hashtbl.t;
 }
 
 let obs_streamed = Obs.Registry.counter "sim.transport.streamed"
 
-let streamer t plan =
-  { transport = t; disp = Pindisk_pinwheel.Plan.create plan; counts = Hashtbl.create 16 }
+(* A mismatched plan would silently air a different program; with
+   [validate] the first hyperperiod is cross-checked against the
+   program's schedule before any slot goes on the air. *)
+let validate_plan t plan =
+  let sched = Program.schedule t.program in
+  let sp = Schedule.period sched in
+  let pp = Plan.period plan in
+  if pp mod sp <> 0 then
+    invalid_arg
+      (Printf.sprintf
+         "Transport.streamer: plan period %d is not a multiple of the \
+          program period %d"
+         pp sp);
+  let d = Plan.create plan in
+  for slot = 0 to pp - 1 do
+    let aired = Plan.next d in
+    let expected = Schedule.task_at sched slot in
+    if aired <> expected then
+      invalid_arg
+        (Printf.sprintf
+           "Transport.streamer: plan airs %d at slot %d where the program \
+            airs %d"
+           aired slot expected)
+  done
 
-let streamer_slot s = Pindisk_pinwheel.Plan.slot s.disp
+let streamer ?(validate = false) t plan =
+  if validate then validate_plan t plan;
+  { transport = t; disp = Plan.create plan; counts = Hashtbl.create 16 }
+
+let streamer_slot s = Plan.slot s.disp
 
 let stream_next s =
-  let slot = Pindisk_pinwheel.Plan.slot s.disp in
-  match Pindisk_pinwheel.Plan.next s.disp with
-  | f when f = Pindisk_pinwheel.Schedule.idle -> None
+  let slot = Plan.slot s.disp in
+  match Plan.next s.disp with
+  | f when f = Schedule.idle -> None
   | f ->
       let stored =
         match Hashtbl.find_opt s.transport.store f with
@@ -132,25 +181,16 @@ let retrieve_streamed ?max_slots s ~file ~fault () =
   if obs then Obs.Registry.add obs_streamed !streamed;
   !result
 
-let retrieve ?max_slots ?report t ~file ~start ~fault () =
-  if start < 0 then invalid_arg "Transport.retrieve: negative start";
-  let s =
-    match Hashtbl.find_opt t.store file with
-    | Some s -> s
-    | None -> invalid_arg "Transport.retrieve: unknown file"
-  in
-  let max_slots =
-    match max_slots with
-    | Some m -> m
-    | None -> 100 * Program.data_cycle t.program
-  in
+(* One tuning attempt: listen from [start] for at most [budget] slots,
+   adding received pieces of [file] to [collected] (which may already hold
+   pieces from earlier attempts — dispersal is fixed, so they stay valid).
+   Reconstructs as soon as [m] distinct indices are present. *)
+let collect_once ?report t ~stored ~collected ~file ~start ~budget ~fault =
   Fault.reset_to fault start;
   let obs = Obs.Control.enabled () in
-  if obs then Obs.Registry.incr obs_requests;
-  let collected = Hashtbl.create 16 in
   let slot = ref start in
   let result = ref None in
-  while !result = None && !slot - start < max_slots do
+  while !result = None && !slot - start < budget do
     let lost = Fault.advance fault in
     (match on_air t !slot with
     | Some (f, piece) ->
@@ -160,19 +200,100 @@ let retrieve ?max_slots ?report t ~file ~start ~fault () =
         if f = file && not lost then
           if not (Hashtbl.mem collected piece.Ida.index) then begin
             Hashtbl.replace collected piece.Ida.index piece;
-            if Hashtbl.length collected >= s.m then begin
-              let pieces = Hashtbl.fold (fun _ p acc -> p :: acc) collected [] in
-              result := Some (Ida.reconstruct s.ida ~length:s.length pieces);
-              if obs then begin
-                Obs.Registry.incr obs_reconstructs;
-                Obs.Histogram.observe obs_wait (!slot - start + 1);
-                Obs.Trace.record
-                  (Obs.Trace.Reconstruct
-                     { file; pieces = s.m; bytes = s.length })
-              end
+            if Hashtbl.length collected >= stored.m then begin
+              let pieces =
+                Hashtbl.fold (fun _ p acc -> p :: acc) collected []
+              in
+              (match
+                 Ida.reconstruct stored.ida ~length:stored.length pieces
+               with
+              | bytes ->
+                  result := Some (Ok bytes);
+                  if obs then begin
+                    Obs.Registry.incr obs_reconstructs;
+                    Obs.Histogram.observe obs_wait (!slot - start + 1);
+                    Obs.Trace.record
+                      (Obs.Trace.Reconstruct
+                         { file; pieces = stored.m; bytes = stored.length })
+                  end
+              | exception Invalid_argument msg ->
+                  result := Some (Error (Reconstruct_failed msg)))
             end
           end
     | None -> ());
     incr slot
   done;
-  !result
+  match !result with
+  | Some r -> r
+  | None ->
+      Error
+        (Timeout
+           {
+             slots = !slot - start;
+             collected = Hashtbl.length collected;
+             needed = stored.m;
+           })
+
+let retrieve_result ?max_slots ?report t ~file ~start ~fault () =
+  if start < 0 then invalid_arg "Transport.retrieve: negative start";
+  match Hashtbl.find_opt t.store file with
+  | None -> Error (Unknown_file file)
+  | Some stored ->
+      let budget =
+        match max_slots with
+        | Some m -> m
+        | None -> 100 * Program.data_cycle t.program
+      in
+      if Obs.Control.enabled () then Obs.Registry.incr obs_requests;
+      let collected = Hashtbl.create 16 in
+      collect_once ?report t ~stored ~collected ~file ~start ~budget ~fault
+
+let retrieve ?max_slots ?report t ~file ~start ~fault () =
+  if start < 0 then invalid_arg "Transport.retrieve: negative start";
+  if not (Hashtbl.mem t.store file) then
+    invalid_arg "Transport.retrieve: unknown file";
+  match retrieve_result ?max_slots ?report t ~file ~start ~fault () with
+  | Ok bytes -> Some bytes
+  | Error _ -> None
+
+let retrieve_resilient ?(attempts = 4) ?backoff ?max_slots ?report t ~file
+    ~start ~fault () =
+  if start < 0 then invalid_arg "Transport.retrieve_resilient: negative start";
+  if attempts < 1 then
+    invalid_arg "Transport.retrieve_resilient: attempts must be >= 1";
+  (match backoff with
+  | Some b when b < 1 ->
+      invalid_arg "Transport.retrieve_resilient: backoff must be >= 1"
+  | _ -> ());
+  match Hashtbl.find_opt t.store file with
+  | None -> Error (Unknown_file file)
+  | Some stored ->
+      let cycle = Program.data_cycle t.program in
+      let budget = Option.value max_slots ~default:cycle in
+      let backoff0 = Option.value backoff ~default:(Program.period t.program) in
+      let obs = Obs.Control.enabled () in
+      if obs then Obs.Registry.incr obs_requests;
+      (* Pieces survive re-tune-ins: dispersal is fixed per file, so an
+         index collected before a timeout still counts afterwards. *)
+      let collected = Hashtbl.create 16 in
+      let rec attempt i at =
+        match
+          collect_once ?report t ~stored ~collected ~file ~start:at ~budget
+            ~fault
+        with
+        | Ok bytes -> Ok bytes
+        | Error (Reconstruct_failed _ as e) -> Error e
+        | Error (Timeout _ as e) ->
+            if i >= attempts then Error e
+            else begin
+              let pause = backoff0 * (1 lsl (i - 1)) in
+              if obs then begin
+                Obs.Registry.incr obs_retries;
+                Obs.Trace.record
+                  (Obs.Trace.Retry { file; attempt = i; backoff = pause })
+              end;
+              attempt (i + 1) (at + budget + pause)
+            end
+        | Error (Unknown_file _ as e) -> Error e
+      in
+      attempt 1 start

@@ -24,8 +24,31 @@ val on_air : t -> int -> (int * Pindisk_ida.Ida.piece) option
     or [None] for an idle slot. *)
 
 val source_blocks : t -> int -> int
-(** The [m] a client needs for the file; raises [Not_found] for unknown
-    files. *)
+(** The [m] a client needs for the file; raises [Invalid_argument] naming
+    the file id for unknown files (see {!find_source_blocks} for the
+    non-raising variant). *)
+
+val find_source_blocks : t -> int -> int option
+(** The [m] a client needs for the file, or [None] for unknown files. *)
+
+(** {1 Typed retrieval errors}
+
+    The retrieve paths distinguish the three ways a retrieval goes wrong,
+    so callers can react differently: a {!Timeout} is transient (re-tune
+    in later — {!retrieve_resilient} automates that), an {!Unknown_file}
+    is a caller bug, and a {!Reconstruct_failed} means the collected
+    pieces were inconsistent (corruption — there is no point retrying with
+    the same pieces). *)
+
+type error =
+  | Timeout of { slots : int; collected : int; needed : int }
+      (** The slot budget ran out with only [collected] of the [needed]
+          distinct pieces received. *)
+  | Unknown_file of int  (** The file id is not stored by this server. *)
+  | Reconstruct_failed of string
+      (** IDA reconstruction rejected the collected pieces. *)
+
+val pp_error : Format.formatter -> error -> unit
 
 (** {1 Online streaming}
 
@@ -39,11 +62,14 @@ val source_blocks : t -> int -> int
 
 type streamer
 
-val streamer : t -> Pindisk_pinwheel.Plan.t -> streamer
+val streamer : ?validate:bool -> t -> Pindisk_pinwheel.Plan.t -> streamer
 (** A streamer positioned at slot 0. The plan should materialize to the
-    transport's program schedule (the tests pin the equivalence); this is
-    not checked here — a mismatched plan simply airs a different
-    program. *)
+    transport's program schedule (the tests pin the equivalence). By
+    default this is not checked — a mismatched plan simply airs a
+    different program; with [~validate:true] the plan's first hyperperiod
+    is cross-checked against the program's schedule (and the plan period
+    must be a multiple of the program period), raising [Invalid_argument]
+    on the first mismatching slot instead of airing it. *)
 
 val streamer_slot : streamer -> int
 (** The next slot {!stream_next} will air. *)
@@ -60,6 +86,29 @@ val retrieve_streamed :
     and consuming {!stream_next} — the client and the server share one
     online dispatch, no schedule materialized. The streamer advances past
     the slots consumed. *)
+
+val retrieve_result :
+  ?max_slots:int -> ?report:(slot:int -> file:int -> lost:bool -> unit) ->
+  t -> file:int -> start:int -> fault:Fault.t -> unit ->
+  (bytes, error) result
+(** {!retrieve} with a typed verdict: [Ok bytes] on reconstruction,
+    [Error] describing why the retrieval failed otherwise. Never raises
+    for unknown files (that is [Error (Unknown_file _)]); still raises
+    [Invalid_argument] for a negative [start]. *)
+
+val retrieve_resilient :
+  ?attempts:int -> ?backoff:int -> ?max_slots:int ->
+  ?report:(slot:int -> file:int -> lost:bool -> unit) ->
+  t -> file:int -> start:int -> fault:Fault.t -> unit ->
+  (bytes, error) result
+(** Bounded-retry retrieval: tune in at [start] with a per-attempt budget
+    of [max_slots] (default one data cycle); on timeout, back off
+    exponentially — attempt [i] waits [backoff * 2^(i-1)] slots (default
+    [backoff] is one broadcast period) — and re-tune in, up to [attempts]
+    (default 4) attempts in total. Pieces collected before a timeout are
+    kept across re-tune-ins (dispersal is fixed), so attempts make
+    monotone progress. Each re-tune-in records an [Obs.Trace.Retry] span
+    and bumps the [sim.transport.retries] counter. *)
 
 val retrieve :
   ?max_slots:int -> ?report:(slot:int -> file:int -> lost:bool -> unit) ->

@@ -1,0 +1,123 @@
+module Json = Pindisk_check.Json
+
+let schema = "pindisk-checkpoint v1"
+let ( let* ) = Result.bind
+
+type t = {
+  slot : int;
+  period : int;
+  period_stamp : int;
+  program_digest : string;
+  next_read : int;
+  counts : (int * int) list;
+  queue : Block_store.request list;
+}
+
+let status_to_json : Block_store.status -> Json.t = function
+  | Block_store.Pending ready_at ->
+      Json.Obj [ ("state", Json.Str "pending"); ("ready_at", Json.Int ready_at) ]
+  | Block_store.Shed_overflow -> Json.Obj [ ("state", Json.Str "overflow") ]
+  | Block_store.Shed_failed -> Json.Obj [ ("state", Json.Str "failed") ]
+
+let request_to_json (r : Block_store.request) =
+  Json.Obj
+    [
+      ("id", Json.Int r.Block_store.id);
+      ("file", Json.Int r.Block_store.file);
+      ("occurrence", Json.Int r.Block_store.occurrence);
+      ("issued", Json.Int r.Block_store.issued);
+      ("air", Json.Int r.Block_store.air);
+      ("status", status_to_json r.Block_store.status);
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("schema", Json.Str schema);
+      ("slot", Json.Int t.slot);
+      ("period", Json.Int t.period);
+      ("period_stamp", Json.Int t.period_stamp);
+      ("program_digest", Json.Str t.program_digest);
+      ("next_read", Json.Int t.next_read);
+      ( "counts",
+        Json.List
+          (List.map
+             (fun (f, c) -> Json.List [ Json.Int f; Json.Int c ])
+             t.counts) );
+      ("queue", Json.List (List.map request_to_json t.queue));
+    ]
+
+let status_of_json j =
+  let* state = Json.get_str "state" j in
+  match state with
+  | "pending" ->
+      let* ready_at = Json.get_int "ready_at" j in
+      Ok (Block_store.Pending ready_at)
+  | "overflow" -> Ok Block_store.Shed_overflow
+  | "failed" -> Ok Block_store.Shed_failed
+  | other -> Error (Printf.sprintf "unknown request state %S" other)
+
+let request_of_json j =
+  let* id = Json.get_int "id" j in
+  let* file = Json.get_int "file" j in
+  let* occurrence = Json.get_int "occurrence" j in
+  let* issued = Json.get_int "issued" j in
+  let* air = Json.get_int "air" j in
+  let* status_j =
+    match Json.member "status" j with
+    | Some s -> Ok s
+    | None -> Error "missing field \"status\""
+  in
+  let* status = status_of_json status_j in
+  Ok { Block_store.id; file; occurrence; issued; air; status }
+
+let count_of_json = function
+  | Json.List [ Json.Int f; Json.Int c ] -> Ok (f, c)
+  | _ -> Error "expected a [file, count] pair"
+
+let rec collect f = function
+  | [] -> Ok []
+  | x :: rest ->
+      let* v = f x in
+      let* vs = collect f rest in
+      Ok (v :: vs)
+
+let of_json j =
+  let* got = Json.get_str "schema" j in
+  if got <> schema then
+    Error (Printf.sprintf "unsupported schema %S (want %S)" got schema)
+  else
+    let* slot = Json.get_int "slot" j in
+    let* period = Json.get_int "period" j in
+    let* period_stamp = Json.get_int "period_stamp" j in
+    let* program_digest = Json.get_str "program_digest" j in
+    let* next_read = Json.get_int "next_read" j in
+    let* counts_l = Json.get_list "counts" j in
+    let* counts = collect count_of_json counts_l in
+    let* queue_l = Json.get_list "queue" j in
+    let* queue = collect request_of_json queue_l in
+    Ok { slot; period; period_stamp; program_digest; next_read; counts; queue }
+
+let to_string t = Json.to_string (to_json t)
+
+let of_string s =
+  let* j = Json.of_string s in
+  of_json j
+
+let save t path =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  output_string oc (to_string t);
+  close_out oc;
+  Sys.rename tmp path
+
+let load path =
+  match open_in_bin path with
+  | exception Sys_error e -> Error e
+  | ic ->
+      let s =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      of_string s

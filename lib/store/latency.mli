@@ -1,0 +1,46 @@
+(** Injectable per-read service-time / failure processes for the block
+    store.
+
+    Every read the {!Block_store} issues is assigned a verdict by a
+    latency process: how many slots the read takes to complete, or that
+    it fails outright. A verdict is a {e pure function} of the read id
+    and the slot the read was issued — no hidden mutable state — which is
+    what makes crash-restart recovery deterministic: a server restarted
+    from a checkpoint re-issues the same read ids at the same slots and
+    sees the exact same service times, so its aired sequence is
+    slot-for-slot identical to an uninterrupted run (the test suite pins
+    this). Stochastic processes hash [(seed, read_id)] through
+    splitmix64's finalizer; scripted processes see both coordinates. *)
+
+type verdict =
+  | Ready_in of int
+      (** The read completes [d >= 0] slots after it was issued. *)
+  | Failed  (** The read never completes (media error). *)
+
+type t
+
+val immediate : t
+(** Every read completes in 0 slots — the no-fault backend. *)
+
+val fixed : int -> t
+(** Every read takes exactly [d >= 0] slots. *)
+
+val stochastic :
+  ?fail_p:float -> ?slow_p:float -> ?slow_slots:int -> seed:int -> unit -> t
+(** Independent per-read faults: with probability [fail_p] (default 0)
+    the read fails; otherwise with probability [slow_p] (default 0) it
+    takes [slow_slots] (default 4) slots, else 0 slots. Deterministic in
+    [(seed, read_id)]. *)
+
+val scripted : (read_id:int -> slot:int -> verdict) -> t
+(** Full control: the function sees the read id and the issue slot. *)
+
+val stuck : from_:int -> until_:int -> t -> t
+(** [stuck ~from_ ~until_ base]: a stalled reader. Reads issued in
+    [\[from_, until_)] complete only after the stall window ends — their
+    service time becomes [(until_ - slot) + d] where [d] is the base
+    verdict (failures stay failures); reads outside the window behave as
+    [base]. *)
+
+val draw : t -> read_id:int -> slot:int -> verdict
+(** The verdict for a read. Pure: same arguments, same verdict. *)

@@ -51,9 +51,25 @@ let codec_checks =
       dir = Higher_is_better; floor = Some 1.5; gate_vs_baseline = true };
   ]
 
+(* Chaos metrics are slot-domain and fully deterministic under the fixed
+   scenario seeds, so they gate identically on any runner. The floors
+   come straight from the recovery invariants: zero violations ever;
+   recovery bounded by restart + checkpoint cadence + lookahead
+   (8 + 16 + 3); the 20%-fault retrieval tail within a small factor of
+   the fault-free one. *)
+let chaos_checks =
+  [
+    { metric = "violations_total"; dir = Lower_is_better; floor = Some 0.0;
+      gate_vs_baseline = false };
+    { metric = "recovery_slots_f20"; dir = Lower_is_better; floor = Some 27.0;
+      gate_vs_baseline = true };
+    { metric = "retrieval_latency_ratio_f20_over_f0"; dir = Lower_is_better;
+      floor = Some 6.0; gate_vs_baseline = true };
+  ]
+
 let usage () =
   prerr_endline
-    "usage: bench_gate --kind sched|codec --fresh F --baseline B \
+    "usage: bench_gate --kind sched|codec|chaos --fresh F --baseline B \
      --summary OUT.md [--append] [--tolerance R] [--inject-slowdown F]";
   exit 2
 
@@ -107,6 +123,7 @@ let () =
     match kind with
     | "sched" -> sched_checks
     | "codec" -> codec_checks
+    | "chaos" -> chaos_checks
     | k -> Printf.eprintf "bench_gate: unknown kind %s\n" k; usage ()
   in
   let fresh = load fresh_p and base = load base_p in

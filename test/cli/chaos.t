@@ -1,0 +1,55 @@
+The chaos plane end to end. `pindisk chaos` runs the scripted
+fault-injection suite — crashes with restart-from-checkpoint, a stuck
+storage reader, loss bursts — under fixed seeds and checks the four
+recovery invariants (bytes-identity, replay determinism, bounded gaps,
+liveness). The suite is deterministic, so its verdict line is a golden:
+
+  $ pindisk chaos | tail -1
+  chaos: 7 scenario(s), 0 invariant violations
+
+The scenario list is part of the CLI contract:
+
+  $ pindisk chaos --list
+  calm-baseline
+  crash-early
+  crash-late-long-outage
+  double-crash
+  stuck-reader
+  overflow-pressure
+  burst-plus-crash
+
+A single scenario can be run by name; a crash scenario reports its
+recovery time (wall slots from death until the server caught up):
+
+  $ pindisk chaos --scenario crash-early | grep 'recovery slots'
+    recovery slots: 11
+
+Unknown names are an error:
+
+  $ pindisk chaos --scenario no-such-thing
+  pindisk: no such scenario
+  [124]
+
+The markdown summary artifact the CI job uploads:
+
+  $ pindisk chaos --summary chaos_summary.md > /dev/null
+  $ head -4 chaos_summary.md
+  # Chaos scenario suite
+  
+  | scenario | verdict | crashes | down slots | faulted slots | replayed slots | recovery (slots) |
+  |---|---|---|---|---|---|---|
+
+  $ grep -c VIOLATED chaos_summary.md
+  0
+  [1]
+
+With --metrics the run emits an observability snapshot carrying the
+crash/recover trace spans and the recovery-time histogram:
+
+  $ pindisk chaos --metrics chaos_metrics.json > /dev/null
+  $ grep -o '"span": "crash"' chaos_metrics.json | sort -u
+  "span": "crash"
+  $ grep -o '"span": "recover"' chaos_metrics.json | sort -u
+  "span": "recover"
+  $ grep -o '"store.recovery"' chaos_metrics.json | sort -u
+  "store.recovery"

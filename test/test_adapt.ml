@@ -449,6 +449,25 @@ let test_controller_oscillation_never_swaps () =
   Alcotest.(check string) "level never left clear" "clear"
     (Controller.level c).Policy.name
 
+let test_controller_notify_stall_escalates () =
+  (* A detected server stall floods one full estimator window with
+     losses and forces an immediate decision: the controller climbs off
+     baseline without waiting for per-slot reports to accumulate. *)
+  let _, c = crisis_controller () in
+  drive c ~from:0 ~until:64 ~lost_at:(fun _ -> false);
+  Alcotest.(check string) "healthy channel stays clear" "clear"
+    (Controller.level c).Policy.name;
+  Controller.notify_stall c ~slot:64;
+  Controller.notify_stall c ~slot:65;
+  Alcotest.(check string) "stall escalates to crisis" "crisis"
+    (Controller.level c).Policy.name;
+  (* The staged program installs at the next cycle boundary and the
+     ladder is off baseline. *)
+  drive c ~from:66 ~until:128 ~lost_at:(fun _ -> true);
+  match (Controller.plan c).Ladder.rung with
+  | Ladder.Baseline -> Alcotest.fail "stall must leave baseline"
+  | _ -> ()
+
 let test_controller_validation () =
   let ladder = bw2_ladder () in
   Alcotest.check_raises "decision_windows zero"
@@ -623,6 +642,8 @@ let () =
             test_controller_recovers_to_original_program;
           Alcotest.test_case "oscillation never swaps" `Quick
             test_controller_oscillation_never_swaps;
+          Alcotest.test_case "notify_stall escalates" `Quick
+            test_controller_notify_stall_escalates;
           Alcotest.test_case "validation" `Quick test_controller_validation;
         ] );
       ( "driver",

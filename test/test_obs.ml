@@ -288,6 +288,9 @@ let test_snapshot_json_roundtrip () =
   Trace.record (Trace.Fault_burst { slot = 5; length = 2 });
   Trace.record (Trace.Reconstruct { file = 1; pieces = 4; bytes = 4096 });
   Trace.record (Trace.Hot_swap { slot = 8; cause = "loss 0.4 -> \"shed\"" });
+  Trace.record (Trace.Crash { slot = 9 });
+  Trace.record (Trace.Recover { slot = 11; replayed = 3 });
+  Trace.record (Trace.Retry { file = 1; attempt = 2; backoff = 16 });
   let s = Snapshot.take () in
   let str = Json.to_string (Metrics.snapshot_to_json s) in
   match Metrics.snapshot_of_string str with

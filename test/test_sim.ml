@@ -805,6 +805,158 @@ let test_retrieve_streamed_roundtrip () =
         (Bytes.to_string bytes)
   | None -> Alcotest.fail "streamed retrieval under loss completes"
 
+(* ------------------------------------------------------------------ *)
+(* Typed errors and the resilient retrieve path                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The Gilbert–Elliott stationary distribution in closed form:
+   pi_bad = p_gb / (p_gb + p_bg), rate = (1 - pi_bad)·loss_good +
+   pi_bad·loss_bad. [Fault.loss_rate] must implement exactly this, and
+   the empirical loss over 10^5 slots must converge to it for any
+   parameterization. *)
+let prop_burst_loss_rate_converges =
+  QCheck2.Test.make
+    ~name:"burst loss_rate matches the stationary closed form empirically"
+    ~count:25
+    QCheck2.Gen.(
+      quad (int_range 5 50) (int_range 5 50) (int_range 20 100)
+        (int_bound 1_000_000))
+    (fun (gb, bg, lb, seed) ->
+      let p_good_to_bad = float_of_int gb /. 100.0 in
+      let p_bad_to_good = float_of_int bg /. 100.0 in
+      let loss_bad = float_of_int lb /. 100.0 in
+      let f =
+        Fault.burst ~p_good_to_bad ~p_bad_to_good ~loss_good:0.0 ~loss_bad
+          ~seed
+      in
+      let pi_bad = p_good_to_bad /. (p_good_to_bad +. p_bad_to_good) in
+      let expected = pi_bad *. loss_bad in
+      if abs_float (Fault.loss_rate f -. expected) > 1e-9 then false
+      else begin
+        let n = 100_000 in
+        let losses = ref 0 in
+        for _ = 1 to n do
+          if Fault.advance f then incr losses
+        done;
+        let empirical = float_of_int !losses /. float_of_int n in
+        abs_float (empirical -. expected) < 0.03
+      end)
+
+let test_transport_unknown_file_typed () =
+  let t = toy_transport () in
+  Alcotest.check_raises "source_blocks names the file"
+    (Invalid_argument "Transport.source_blocks: unknown file 9") (fun () ->
+      ignore (Transport.source_blocks t 9));
+  check_bool "find_source_blocks known" true
+    (Transport.find_source_blocks t 0 = Some 5);
+  check_bool "find_source_blocks unknown" true
+    (Transport.find_source_blocks t 9 = None);
+  (match
+     Transport.retrieve_result t ~file:9 ~start:0 ~fault:(Fault.none ()) ()
+   with
+  | Error (Transport.Unknown_file 9) -> ()
+  | _ -> Alcotest.fail "expected Unknown_file 9");
+  Alcotest.check_raises "legacy retrieve still raises"
+    (Invalid_argument "Transport.retrieve: unknown file") (fun () ->
+      ignore (Transport.retrieve t ~file:9 ~start:0 ~fault:(Fault.none ()) ()))
+
+let test_retrieve_result_typed () =
+  let t = toy_transport () in
+  (match
+     Transport.retrieve_result t ~file:0 ~start:3 ~fault:(Fault.none ()) ()
+   with
+  | Ok bytes ->
+      Alcotest.(check string) "bit-exact"
+        "intelligent vehicle highway system db" (Bytes.to_string bytes)
+  | Error e -> Alcotest.failf "unexpected error: %a" Transport.pp_error e);
+  (* Lose every slot: a 10-slot budget times out with nothing collected,
+     and the error carries the exact accounting. *)
+  let lose_all = Fault.deterministic (fun _ -> true) in
+  match
+    Transport.retrieve_result ~max_slots:10 t ~file:0 ~start:0 ~fault:lose_all
+      ()
+  with
+  | Error (Transport.Timeout { slots = 10; collected = 0; needed = 5 }) -> ()
+  | Error e -> Alcotest.failf "unexpected error: %a" Transport.pp_error e
+  | Ok _ -> Alcotest.fail "cannot succeed under total loss"
+
+let test_retrieve_resilient_retries_across_cycles () =
+  let t = toy_transport () in
+  let dc = Program.data_cycle (Transport.program t) in
+  (* Blackout for the whole first attempt's budget: attempt 1 times out,
+     the client backs off one period and re-tunes in error-free. *)
+  let blackout = Fault.deterministic (fun slot -> slot < dc) in
+  (match Transport.retrieve_resilient t ~file:0 ~start:0 ~fault:blackout () with
+  | Ok bytes ->
+      Alcotest.(check string) "bit-exact after retry"
+        "intelligent vehicle highway system db" (Bytes.to_string bytes)
+  | Error e ->
+      Alcotest.failf "resilient retrieval failed: %a" Transport.pp_error e);
+  (* Pieces collected before a timeout survive the re-tune-in: a budget
+     too small for any single attempt still completes across attempts. *)
+  (match
+     Transport.retrieve_resilient ~max_slots:5 t ~file:0 ~start:0
+       ~fault:(Fault.none ()) ()
+   with
+  | Ok bytes ->
+      Alcotest.(check string) "monotone progress across attempts"
+        "intelligent vehicle highway system db" (Bytes.to_string bytes)
+  | Error e ->
+      Alcotest.failf "cross-attempt accumulation failed: %a" Transport.pp_error
+        e);
+  (* Total loss exhausts every attempt and reports the final timeout. *)
+  match
+    Transport.retrieve_resilient ~attempts:3 t ~file:0 ~start:0
+      ~fault:(Fault.deterministic (fun _ -> true)) ()
+  with
+  | Error (Transport.Timeout _) -> ()
+  | _ -> Alcotest.fail "total loss must exhaust attempts"
+
+let test_retrieve_resilient_records_retries () =
+  let module Obs = Pindisk_obs in
+  Obs.Control.with_enabled true (fun () ->
+      Obs.Registry.reset ();
+      Obs.Trace.reset ();
+      let t = toy_transport () in
+      let dc = Program.data_cycle (Transport.program t) in
+      let blackout = Fault.deterministic (fun slot -> slot < dc) in
+      (match
+         Transport.retrieve_resilient t ~file:0 ~start:0 ~fault:blackout ()
+       with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "failed: %a" Transport.pp_error e);
+      check_int "one retry counted" 1
+        (List.assoc "sim.transport.retries" (Obs.Registry.counters ()));
+      check_bool "retry span traced" true
+        (List.exists
+           (fun e ->
+             match e.Obs.Trace.span with
+             | Obs.Trace.Retry { file = 0; attempt = 1; _ } -> true
+             | _ -> false)
+           (Obs.Trace.events ())))
+
+let test_streamer_validate () =
+  let t, plan = streamed_transport () in
+  (* The program's own plan validates, and the streamer then airs it. *)
+  let s = Transport.streamer ~validate:true t plan in
+  check_bool "validated streamer airs slot 0" true
+    (Transport.stream_next s = Transport.on_air t 0);
+  (* A plan whose period is no multiple of the program's is rejected. *)
+  let period = Program.period (Transport.program t) in
+  let odd = Pw.Plan.explicit (Pw.Schedule.make (Array.make (period + 1) 0)) in
+  (match Transport.streamer ~validate:true t odd with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "period mismatch must be rejected");
+  (* A right-period plan airing the wrong tasks fails fast, before any
+     slot goes out. *)
+  let sched = Program.schedule (Transport.program t) in
+  let wrong =
+    Pw.Plan.explicit (Pw.Schedule.rotate sched 1)
+  in
+  match Transport.streamer ~validate:true t wrong with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "mismatched plan must be rejected"
+
 let () =
   Alcotest.run "sim"
     [
@@ -818,6 +970,7 @@ let () =
           Alcotest.test_case "validation" `Quick test_fault_validation;
           Alcotest.test_case "reset_to determinism" `Quick
             test_fault_reset_to_determinism;
+          QCheck_alcotest.to_alcotest prop_burst_loss_rate_converges;
         ] );
       ( "client",
         [
@@ -898,5 +1051,17 @@ let () =
             test_streamer_matches_on_air;
           Alcotest.test_case "retrieve_streamed roundtrip" `Quick
             test_retrieve_streamed_roundtrip;
+          Alcotest.test_case "streamer validate" `Quick test_streamer_validate;
+        ] );
+      ( "resilience",
+        [
+          Alcotest.test_case "typed unknown-file errors" `Quick
+            test_transport_unknown_file_typed;
+          Alcotest.test_case "retrieve_result verdicts" `Quick
+            test_retrieve_result_typed;
+          Alcotest.test_case "resilient retry across cycles" `Quick
+            test_retrieve_resilient_retries_across_cycles;
+          Alcotest.test_case "resilient retries observable" `Quick
+            test_retrieve_resilient_records_retries;
         ] );
     ]
