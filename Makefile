@@ -1,4 +1,4 @@
-.PHONY: all build test test-metrics bench bench-tables bench-micro bench-codec bench-obs bench-sched bench-chaos bench-gate chaos examples audit doc clean
+.PHONY: all build test test-force test-metrics bench bench-tables bench-micro bench-codec bench-obs bench-sched bench-chaos bench-gate chaos lint tsan examples audit doc clean
 
 all: build
 
@@ -67,6 +67,31 @@ bench-gate: bench-sched bench-codec bench-chaos
 # regression: instrumentation must not change any observable output).
 test-metrics:
 	PINDISK_METRICS=1 dune runtest --force
+
+# Static-analysis gate: parse every .ml under lib/ bin/ bench/ scripts/
+# with compiler-libs and enforce the committed lint.config modulo the
+# expiring lint.baseline. Writes lint_summary.md (the CI artifact);
+# exits non-zero on unsuppressed findings or stale baseline entries.
+lint:
+	dune build bin/lint_main.exe
+	dune exec bin/lint_main.exe -- --summary lint_summary.md
+
+# ThreadSanitizer pass over the domain-crossing suites (pool, codec,
+# sharded metrics). Needs a TSan-instrumented compiler (an
+# ocaml-option-tsan switch, OCaml >= 5.2); detected via `ocamlopt
+# -config` and skipped gracefully elsewhere so the target is safe to
+# invoke on any machine.
+tsan:
+	@if ocamlopt -config 2>/dev/null | grep -q '^tsan:.*true'; then \
+	  echo "tsan: instrumented compiler detected; running domain-crossing suites"; \
+	  dune build test/test_util.exe test/test_gf256.exe test/test_ida.exe test/test_obs.exe && \
+	  dune exec test/test_util.exe && \
+	  dune exec test/test_gf256.exe && \
+	  dune exec test/test_ida.exe && \
+	  dune exec test/test_obs.exe; \
+	else \
+	  echo "tsan: compiler is not TSan-instrumented (needs an ocaml-option-tsan switch, OCaml >= 5.2); skipping"; \
+	fi
 
 audit:
 	@for design in examples/designs/*.design; do \

@@ -1,0 +1,110 @@
+(* pindisk-lint: the static counterpart to `pindisk audit`.
+
+   Parses every .ml under the given paths with compiler-libs and
+   enforces the committed per-directory policy (lint.config) modulo the
+   committed expiring baseline (lint.baseline). Exit convention shared
+   with bench_gate: 0 clean, 1 findings or stale baseline entries,
+   2 usage/parse errors.
+
+     pindisk-lint [--root DIR] [--config F] [--baseline F]
+                  [--today YYYY-MM-DD] [--json] [--summary OUT.md
+                  [--append]] [PATH ...]
+
+   PATHs default to lib bin bench scripts. --today pins baseline-expiry
+   evaluation for reproducible runs (cram tests, CI); otherwise the
+   current date is used. *)
+
+module Lint = Pindisk_lint
+module Summary = Pindisk_report.Summary
+
+let usage () =
+  prerr_endline
+    "usage: pindisk-lint [--root DIR] [--config F] [--baseline F]\n\
+    \                    [--today YYYY-MM-DD] [--json]\n\
+    \                    [--summary OUT.md [--append]] [PATH ...]";
+  exit 2
+
+let parse_args () =
+  let root = ref "." and config = ref "lint.config" in
+  let baseline = ref "lint.baseline" and baseline_given = ref false in
+  let today = ref "" and json = ref false in
+  let summary = ref "" and append = ref false in
+  let paths = ref [] in
+  let rec go = function
+    | [] -> ()
+    | "--root" :: v :: rest -> root := v; go rest
+    | "--config" :: v :: rest -> config := v; go rest
+    | "--baseline" :: v :: rest ->
+        baseline := v;
+        baseline_given := true;
+        go rest
+    | "--today" :: v :: rest -> today := v; go rest
+    | "--json" :: rest -> json := true; go rest
+    | "--summary" :: v :: rest -> summary := v; go rest
+    | "--append" :: rest -> append := true; go rest
+    | a :: _ when String.length a > 0 && a.[0] = '-' ->
+        Printf.eprintf "pindisk-lint: unknown option %s\n" a;
+        usage ()
+    | p :: rest -> paths := p :: !paths; go rest
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  let paths =
+    match List.rev !paths with
+    | [] -> [ "lib"; "bin"; "bench"; "scripts" ]
+    | ps -> ps
+  in
+  ( !root, !config, !baseline, !baseline_given, !today, !json, !summary,
+    !append, paths )
+
+let today_default () =
+  let tm = Unix.localtime (Unix.time ()) in
+  Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 2) fmt
+
+let () =
+  let ( root, config_p, baseline_p, baseline_given, today, json, summary_p,
+        append, paths ) =
+    parse_args ()
+  in
+  let today = if today = "" then today_default () else today in
+  if not (Lint.Baseline.valid_date today) then
+    fail "pindisk-lint: --today %S is not a YYYY-MM-DD date" today;
+  let config =
+    match Lint.Config.load config_p with
+    | Ok c -> c
+    | Error e -> fail "pindisk-lint: %s: %s" config_p e
+  in
+  let baseline =
+    (* The default baseline path may simply not exist yet (a clean tree
+       needs none); an explicitly given one must parse. *)
+    if (not baseline_given) && not (Sys.file_exists baseline_p) then []
+    else
+      match Lint.Baseline.load baseline_p with
+      | Ok b -> b
+      | Error e -> fail "pindisk-lint: %s: %s" baseline_p e
+  in
+  let sources =
+    match Lint.Driver.load_tree ~root ~paths with
+    | Ok s -> s
+    | Error e -> fail "pindisk-lint: %s" e
+  in
+  if sources = [] then fail "pindisk-lint: no .ml files under %s" root;
+  let outcome = Lint.Driver.run ~config ~baseline ~today ~sources in
+  if json then
+    print_string (Pindisk_check.Json.to_string (Lint.Report.to_json outcome))
+  else Lint.Report.print_text Format.std_formatter outcome;
+  if summary_p <> "" then
+    Summary.with_summary ~path:summary_p ~append ~title:"Lint gate"
+      (fun oc ->
+        Printf.fprintf oc "## pindisk-lint (%s, baseline as of %s)\n\n"
+          config_p today;
+        let rows = Lint.Report.summary_rows outcome in
+        if rows = [] then
+          Printf.fprintf oc "%s\n\n" (Lint.Report.summary_line outcome)
+        else
+          Summary.table oc
+            ~header:[ "rule"; "where"; "context"; "finding" ]
+            rows);
+  exit (Lint.Driver.exit_code outcome)

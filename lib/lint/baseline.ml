@@ -1,0 +1,92 @@
+(* lint.baseline: committed, *expiring* suppressions so the tree can be
+   brought clean incrementally. An entry names the finding shape — not
+   a line number, which would rot on every edit — plus a hard expiry
+   date after which the finding surfaces again. *)
+
+let header = "pindisk-lint-baseline v1"
+
+type entry = {
+  rule : string;
+  file : string;
+  context : string;
+  expires : string; (* YYYY-MM-DD; ISO dates compare lexicographically *)
+  ln : int; (* 1-based line in the baseline file, for actionable output *)
+}
+
+type t = entry list
+
+let valid_date s =
+  String.length s = 10
+  && String.for_all (fun c -> (c >= '0' && c <= '9') || c = '-') s
+  && s.[4] = '-'
+  && s.[7] = '-'
+  &&
+  let mm = String.sub s 5 2 and dd = String.sub s 8 2 in
+  mm >= "01" && mm <= "12" && dd >= "01" && dd <= "31"
+
+let of_string text =
+  let ( let* ) = Result.bind in
+  let lines =
+    String.split_on_char '\n' text
+    |> List.mapi (fun i l -> (i + 1, Config.tokens l))
+    |> List.filter (fun (_, ts) -> ts <> [])
+  in
+  let* lines =
+    match lines with
+    | (_, [ "pindisk-lint-baseline"; "v1" ]) :: rest -> Ok rest
+    | (ln, _) :: _ ->
+        Error (Printf.sprintf "line %d: expected header %S" ln header)
+    | [] ->
+        Error (Printf.sprintf "empty baseline (expected header %S)" header)
+  in
+  let rec walk acc = function
+    | [] -> Ok (List.rev acc)
+    | (ln, [ "suppress"; rule; file; context; expires ]) :: rest ->
+        let* () =
+          if List.mem rule Config.rules then Ok ()
+          else
+            Error (Printf.sprintf "line %d: unknown rule %S (want L1..L5)" ln rule)
+        in
+        let* () =
+          if valid_date expires then Ok ()
+          else
+            Error
+              (Printf.sprintf "line %d: expires %S is not a YYYY-MM-DD date"
+                 ln expires)
+        in
+        walk ({ rule; file; context; expires; ln } :: acc) rest
+    | (ln, "suppress" :: _) :: _ ->
+        Error
+          (Printf.sprintf
+             "line %d: want suppress RULE FILE CONTEXT YYYY-MM-DD" ln)
+    | (ln, w :: _) :: _ ->
+        Error (Printf.sprintf "line %d: unknown stanza %S" ln w)
+    | (_, []) :: _ -> assert false
+  in
+  walk [] lines
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> of_string text
+  | exception Sys_error e -> Error e
+
+let matches e (d : Diag.t) =
+  e.rule = d.rule
+  && Config.path_matches e.file d.file
+  && (e.context = "*" || e.context = d.context)
+
+let expired ~today e = e.expires < today
+
+let pp_entry ppf e =
+  Format.fprintf ppf "suppress %s %s %s %s (baseline line %d)" e.rule e.file
+    e.context e.expires e.ln
+
+let entry_json e =
+  Pindisk_check.Json.Obj
+    [
+      ("rule", Pindisk_check.Json.Str e.rule);
+      ("file", Pindisk_check.Json.Str e.file);
+      ("context", Pindisk_check.Json.Str e.context);
+      ("expires", Pindisk_check.Json.Str e.expires);
+      ("line", Pindisk_check.Json.Int e.ln);
+    ]

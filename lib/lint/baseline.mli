@@ -1,0 +1,39 @@
+(** [lint.baseline]: committed, {e expiring} suppressions so the tree
+    can be brought clean incrementally without turning the linter off.
+
+    {v
+    pindisk-lint-baseline v1
+    # justifying comment above every entry (kept by review convention)
+    suppress L2 lib/sim/transport.ml retrieve 2027-06-30
+    v}
+
+    An entry names the finding shape — rule, file (or directory
+    prefix), enclosing context ("*" = any) — never a line number, which
+    would rot on every edit. After [expires] (strictly before today)
+    the entry stops suppressing and the finding surfaces again; entries
+    matching nothing are {e stale} and fail the run, keeping the
+    baseline honest in both directions. *)
+
+type entry = {
+  rule : string;
+  file : string;
+  context : string;
+  expires : string;  (** YYYY-MM-DD *)
+  ln : int;  (** 1-based line in the baseline file *)
+}
+
+type t = entry list
+
+val of_string : string -> (t, string) result
+val load : string -> (t, string) result
+
+val matches : entry -> Diag.t -> bool
+(** Shape match only — expiry is {!expired}'s business. *)
+
+val expired : today:string -> entry -> bool
+(** [e.expires < today], lexicographically (ISO dates order as
+    strings). *)
+
+val valid_date : string -> bool
+val pp_entry : Format.formatter -> entry -> unit
+val entry_json : entry -> Pindisk_check.Json.t

@@ -1,0 +1,16 @@
+(** Version-bridging view of the one Parsetree construct the linter
+    needs that changed shape between OCaml 5.1 and 5.2 (function
+    literals: [Pexp_fun]/[Pexp_function] were merged into an n-ary
+    [Pexp_function] in 5.2). The dune rules in this directory copy the
+    matching [compat_*.ml.in] variant to [compat.ml] based on
+    [%{ocaml_version}]; everything else the linter touches is stable
+    across 5.1–5.3. *)
+
+val as_closure :
+  Parsetree.expression ->
+  (Parsetree.pattern list * Parsetree.expression option * Parsetree.case list)
+  option
+(** [as_closure e] views [e] as a function literal and returns its
+    parameter patterns together with either its body
+    ([fun p1 .. pn -> body]) or its cases ([function | ...]).
+    [None] when [e] is not a function literal. *)

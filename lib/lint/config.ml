@@ -1,0 +1,106 @@
+(* lint.config: the committed per-directory policy, in the same small
+   line format as Check.Spec's *.design files. *)
+
+let header = "pindisk-lint v1"
+let rules = [ "L1"; "L2"; "L3"; "L4"; "L5" ]
+
+type t = {
+  scopes : (string * string list) list;
+  excepts : (string * string list) list;
+  allows : (string * string * string) list;
+}
+
+let empty = { scopes = []; excepts = []; allows = [] }
+
+(* Strip the comment tail and split on runs of blanks (Check.Spec's
+   tokenizer, verbatim — same file-format family). *)
+let tokens line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+(* "lib/sim" matches itself and anything under it; "*" matches all. *)
+let path_matches pat file =
+  pat = "*" || pat = file
+  || String.starts_with ~prefix:(pat ^ "/") file
+
+let rule_tok ~ln r =
+  if List.mem r rules then Ok r
+  else Error (Printf.sprintf "line %d: unknown rule %S (want L1..L5)" ln r)
+
+let of_string text =
+  let ( let* ) = Result.bind in
+  let lines =
+    String.split_on_char '\n' text
+    |> List.mapi (fun i l -> (i + 1, tokens l))
+    |> List.filter (fun (_, ts) -> ts <> [])
+  in
+  let* lines =
+    match lines with
+    | (_, [ "pindisk-lint"; "v1" ]) :: rest -> Ok rest
+    | (ln, _) :: _ ->
+        Error (Printf.sprintf "line %d: expected header %S" ln header)
+    | [] -> Error (Printf.sprintf "empty config (expected header %S)" header)
+  in
+  let t = ref empty in
+  let rec walk = function
+    | [] -> Ok ()
+    | (ln, stanza) :: rest ->
+        let* () =
+          match stanza with
+          | "scope" :: r :: (_ :: _ as paths) ->
+              let* r = rule_tok ~ln r in
+              t := { !t with scopes = !t.scopes @ [ (r, paths) ] };
+              Ok ()
+          | "except" :: r :: (_ :: _ as paths) ->
+              let* r = rule_tok ~ln r in
+              t := { !t with excepts = !t.excepts @ [ (r, paths) ] };
+              Ok ()
+          | [ "allow"; r; path; context ] ->
+              let* r = rule_tok ~ln r in
+              t := { !t with allows = !t.allows @ [ (r, path, context) ] };
+              Ok ()
+          | "scope" :: _ | "except" :: _ ->
+              Error
+                (Printf.sprintf "line %d: want %s RULE PATH [PATH...]" ln
+                   (List.hd stanza))
+          | "allow" :: _ ->
+              Error
+                (Printf.sprintf
+                   "line %d: want allow RULE PATH CONTEXT (CONTEXT \"*\" = \
+                    whole path)"
+                   ln)
+          | w :: _ -> Error (Printf.sprintf "line %d: unknown stanza %S" ln w)
+          | [] -> assert false
+        in
+        walk rest
+  in
+  let* () = walk lines in
+  Ok !t
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> of_string text
+  | exception Sys_error e -> Error e
+
+let applies t ~rule ~file =
+  let hit pairs =
+    List.exists
+      (fun (r, paths) ->
+        r = rule && List.exists (fun p -> path_matches p file) paths)
+      pairs
+  in
+  hit t.scopes && not (hit t.excepts)
+
+let allowed t (d : Diag.t) =
+  List.exists
+    (fun (r, path, context) ->
+      r = d.rule
+      && path_matches path d.file
+      && (context = "*" || context = d.context))
+    t.allows

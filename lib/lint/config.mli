@@ -1,0 +1,51 @@
+(** [lint.config]: the committed per-directory lint policy, in the same
+    small line format as {!Pindisk_check.Spec}'s [*.design] files.
+
+    {v
+    pindisk-lint v1
+    # where each rule applies ("*" = every scanned file)
+    scope L1 lib/store lib/sim lib/pinwheel lib/adapt
+    scope L3 lib bin scripts bench
+    # carve-outs from a scope
+    except L3 lib/gf256 lib/ida
+    # permanent by-design exemptions, one (rule, path, context) each;
+    # context "*" covers the whole path
+    allow L4 lib/ida/ida.ml passes
+    v}
+
+    [#] starts a comment; blank lines are ignored; the header line is
+    mandatory; paths are '/'-separated prefixes matched on component
+    boundaries (so [lib/sim] covers [lib/sim/fault.ml] but not
+    [lib/simx.ml]). A rule with no [scope] stanza is off. *)
+
+type t = {
+  scopes : (string * string list) list;
+  excepts : (string * string list) list;
+  allows : (string * string * string) list;  (** rule, path, context *)
+}
+
+val empty : t
+(** No scopes: every rule off. *)
+
+val of_string : string -> (t, string) result
+(** Parse; errors carry the 1-based line number. *)
+
+val load : string -> (t, string) result
+(** {!of_string} on a file's contents; [Error] on I/O failure too. *)
+
+val applies : t -> rule:string -> file:string -> bool
+(** Is [rule] in force for [file] (scoped and not excepted)? *)
+
+val allowed : t -> Diag.t -> bool
+(** Does an [allow] stanza cover this finding? *)
+
+val path_matches : string -> string -> bool
+(** [path_matches pat file]: prefix match on path components; ["*"]
+    matches everything. Exposed for {!Baseline}. *)
+
+val rules : string list
+(** ["L1"] .. ["L5"]. *)
+
+val tokens : string -> string list
+(** The shared tokenizer ([#] comment tail stripped, split on blanks) —
+    {!Baseline} parses the same file-format family. *)

@@ -1,0 +1,44 @@
+(* A single lint finding. Everything is plain data so Driver can sort,
+   filter and serialize without re-touching the parsetree. *)
+
+type t = {
+  rule : string; (* "L1" .. "L5" *)
+  file : string; (* path relative to the scanned root, '/'-separated *)
+  line : int; (* 1-based *)
+  col : int; (* 0-based, as the compiler reports columns *)
+  context : string; (* nearest enclosing top-level binding, or "<toplevel>" *)
+  message : string; (* one-line why *)
+}
+
+let make ~rule ~file ~line ~col ~context ~message =
+  { rule; file; line; col; context; message }
+
+(* Stable order for reports: by position first so a file's findings read
+   top to bottom, then rule and message to break exact-position ties. *)
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c
+      else
+        let c = String.compare a.rule b.rule in
+        if c <> 0 then c else String.compare a.message b.message
+
+let pp ppf d =
+  Format.fprintf ppf "%s:%d:%d: %s (%s) %s" d.file d.line d.col d.rule
+    d.context d.message
+
+let to_json d =
+  Pindisk_check.Json.Obj
+    [
+      ("rule", Pindisk_check.Json.Str d.rule);
+      ("file", Pindisk_check.Json.Str d.file);
+      ("line", Pindisk_check.Json.Int d.line);
+      ("col", Pindisk_check.Json.Int d.col);
+      ("context", Pindisk_check.Json.Str d.context);
+      ("message", Pindisk_check.Json.Str d.message);
+    ]

@@ -1,0 +1,29 @@
+(** A single lint finding: rule id, position, the enclosing top-level
+    binding it was found under, and a one-line why. *)
+
+type t = {
+  rule : string;  (** "L1" .. "L5" *)
+  file : string;  (** path relative to the scanned root *)
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based *)
+  context : string;
+      (** nearest enclosing top-level binding, or ["<toplevel>"] *)
+  message : string;
+}
+
+val make :
+  rule:string ->
+  file:string ->
+  line:int ->
+  col:int ->
+  context:string ->
+  message:string ->
+  t
+
+val compare : t -> t -> int
+(** Position-major order: file, line, col, rule, message. *)
+
+val pp : Format.formatter -> t -> unit
+(** [file:line:col: RULE (context) message] — one line per finding. *)
+
+val to_json : t -> Pindisk_check.Json.t

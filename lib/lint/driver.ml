@@ -1,0 +1,110 @@
+(* Policy application and the file walk: scan sources, keep findings the
+   config puts in scope, peel off allow-listed and baselined ones, and
+   classify the baseline itself (active / expired / stale). IO-free
+   except [load_tree], so tests can drive [run] on in-memory sources. *)
+
+type outcome = {
+  findings : Diag.t list;
+  suppressed : (Diag.t * Baseline.entry) list;
+  expired : (Diag.t * Baseline.entry) list;
+  stale : Baseline.entry list;
+  files : int;
+  errors : string list;
+}
+
+let run ~config ~baseline ~today ~sources =
+  let errors = ref [] in
+  let all =
+    List.concat_map
+      (fun src ->
+        match Scan.string src with
+        | Ok ds -> ds
+        | Error e ->
+            errors := e :: !errors;
+            [])
+      sources
+  in
+  let scoped =
+    List.filter
+      (fun (d : Diag.t) ->
+        Config.applies config ~rule:d.rule ~file:d.file
+        && not (Config.allowed config d))
+      all
+  in
+  let used = Hashtbl.create 16 in
+  let findings = ref [] and suppressed = ref [] and expired = ref [] in
+  List.iter
+    (fun d ->
+      match
+        List.find_opt (fun e -> Baseline.matches e d) baseline
+      with
+      | Some e when Baseline.expired ~today e ->
+          Hashtbl.replace used e.Baseline.ln ();
+          expired := (d, e) :: !expired;
+          findings := d :: !findings
+      | Some e ->
+          Hashtbl.replace used e.Baseline.ln ();
+          suppressed := (d, e) :: !suppressed
+      | None -> findings := d :: !findings)
+    scoped;
+  let stale =
+    List.filter (fun e -> not (Hashtbl.mem used e.Baseline.ln)) baseline
+  in
+  {
+    findings = List.sort Diag.compare !findings;
+    suppressed = List.rev !suppressed;
+    expired = List.rev !expired;
+    stale;
+    files = List.length sources;
+    errors = List.rev !errors;
+  }
+
+(* The shared gate convention (bench_gate, pindisk chaos): 0 clean,
+   1 findings — including stale baseline entries, which demand a
+   baseline edit — 2 usage/parse errors. *)
+let exit_code o =
+  if o.errors <> [] then 2
+  else if o.findings <> [] || o.stale <> [] then 1
+  else 0
+
+(* ---- file walk ---------------------------------------------------- *)
+
+let rec walk_dir root rel acc =
+  let abs = if rel = "" then root else Filename.concat root rel in
+  match Sys.is_directory abs with
+  | exception Sys_error _ -> acc
+  | false ->
+      if Filename.check_suffix rel ".ml" then rel :: acc else acc
+  | true ->
+      Array.fold_left
+        (fun acc name ->
+          if name = "_build" || name = ".git" then acc
+          else
+            walk_dir root
+              (if rel = "" then name else rel ^ "/" ^ name)
+              acc)
+        acc
+        (let names = Sys.readdir abs in
+         Array.sort String.compare names;
+         names)
+
+let load_tree ~root ~paths =
+  let rels =
+    List.concat_map
+      (fun p ->
+        let p = if p = "." then "" else p in
+        walk_dir root p [])
+      paths
+    |> List.sort_uniq String.compare
+  in
+  List.fold_left
+    (fun acc rel ->
+      match acc with
+      | Error _ as e -> e
+      | Ok srcs -> (
+          let path = Filename.concat root rel in
+          match In_channel.with_open_bin path In_channel.input_all with
+          | text -> Ok ({ Scan.file = rel; text } :: srcs)
+          | exception Sys_error e -> Error e))
+    (Ok []) rels
+  |> Result.map List.rev

@@ -1,0 +1,34 @@
+(** Policy application: scan sources, apply the config's scopes and
+    allow entries, then the baseline, and classify the result. *)
+
+type outcome = {
+  findings : Diag.t list;
+      (** active findings, sorted — includes reactivated expired ones *)
+  suppressed : (Diag.t * Baseline.entry) list;
+      (** baselined findings, in scan order *)
+  expired : (Diag.t * Baseline.entry) list;
+      (** findings whose matching entry has expired (also in
+          [findings]) *)
+  stale : Baseline.entry list;  (** entries that matched nothing *)
+  files : int;
+  errors : string list;  (** parse/IO failures, one per file *)
+}
+
+val run :
+  config:Config.t ->
+  baseline:Baseline.t ->
+  today:string ->
+  sources:Scan.source list ->
+  outcome
+(** IO-free core, so tests can drive it on in-memory sources. [today]
+    is a YYYY-MM-DD date used only for baseline expiry. *)
+
+val exit_code : outcome -> int
+(** The shared gate convention: [0] clean, [1] findings or stale
+    baseline entries, [2] errors. *)
+
+val load_tree :
+  root:string -> paths:string list -> (Scan.source list, string) result
+(** Collect every [.ml] under [root]/[paths] (recursively, sorted,
+    deduplicated; ["."] means the whole root; [_build] and [.git] are
+    skipped). File paths in the result are [root]-relative. *)

@@ -1,0 +1,89 @@
+(* Rendering: human text and the byte-stable "pindisk-lint v1" JSON
+   document (Check.Json prints object fields in construction order and
+   Driver sorts findings, so print -> parse -> print is the identity —
+   the same property pindisk-metrics v1 pins in cram tests). *)
+
+module Json = Pindisk_check.Json
+
+let schema = "pindisk-lint v1"
+
+let by_rule (o : Driver.outcome) =
+  List.map
+    (fun r ->
+      ( r,
+        List.length
+          (List.filter (fun (d : Diag.t) -> d.rule = r) o.findings) ))
+    Config.rules
+
+let to_json (o : Driver.outcome) =
+  Json.Obj
+    [
+      ("schema", Json.Str schema);
+      ("files", Json.Int o.files);
+      ( "findings",
+        Json.List (List.map Diag.to_json o.findings) );
+      ("suppressed", Json.Int (List.length o.suppressed));
+      ( "expired",
+        Json.List (List.map (fun (_, e) -> Baseline.entry_json e) o.expired)
+      );
+      ("stale", Json.List (List.map Baseline.entry_json o.stale));
+      ( "by_rule",
+        Json.Obj (List.map (fun (r, n) -> (r, Json.Int n)) (by_rule o)) );
+      ("errors", Json.List (List.map (fun e -> Json.Str e) o.errors));
+    ]
+
+let summary_line (o : Driver.outcome) =
+  let counts =
+    by_rule o
+    |> List.filter (fun (_, n) -> n > 0)
+    |> List.map (fun (r, n) -> Printf.sprintf "%s %d" r n)
+  in
+  if o.findings = [] && o.stale = [] && o.errors = [] then
+    Printf.sprintf "clean (%d files, %d suppressed)" o.files
+      (List.length o.suppressed)
+  else
+    Printf.sprintf "%d finding%s (%s) in %d files, %d suppressed, %d stale"
+      (List.length o.findings)
+      (if List.length o.findings = 1 then "" else "s")
+      (if counts = [] then "-" else String.concat ", " counts)
+      o.files
+      (List.length o.suppressed)
+      (List.length o.stale)
+
+let print_text ppf (o : Driver.outcome) =
+  List.iter (fun e -> Format.fprintf ppf "pindisk-lint: error: %s@." e) o.errors;
+  List.iter (fun d -> Format.fprintf ppf "%a@." Diag.pp d) o.findings;
+  List.iter
+    (fun (_, e) ->
+      Format.fprintf ppf
+        "pindisk-lint: expired %a — the finding above is live again@."
+        Baseline.pp_entry e)
+    o.expired;
+  List.iter
+    (fun e ->
+      Format.fprintf ppf
+        "pindisk-lint: stale %a — matches nothing, delete it@."
+        Baseline.pp_entry e)
+    o.stale;
+  Format.fprintf ppf "pindisk-lint: %s@." (summary_line o)
+
+(* Markdown rows for the shared gate summary artifact. *)
+let summary_rows (o : Driver.outcome) =
+  List.map
+    (fun (d : Diag.t) ->
+      [
+        d.rule;
+        Printf.sprintf "%s:%d" d.file d.line;
+        d.context;
+        d.message;
+      ])
+    o.findings
+  @ List.map
+      (fun (e : Baseline.entry) ->
+        [
+          e.rule;
+          e.file;
+          e.context;
+          Printf.sprintf "stale baseline entry (line %d) — delete it" e.ln;
+        ])
+      o.stale

@@ -1,0 +1,18 @@
+(** Rendering of a lint {!Driver.outcome}: human text and the
+    byte-stable ["pindisk-lint v1"] JSON document (same print → parse →
+    print identity the metrics schema pins). *)
+
+val schema : string
+(** ["pindisk-lint v1"]. *)
+
+val to_json : Driver.outcome -> Pindisk_check.Json.t
+
+val print_text : Format.formatter -> Driver.outcome -> unit
+(** One line per finding ([file:line:col: RULE (context) why]), then
+    expired/stale baseline notices, then the summary line. *)
+
+val summary_line : Driver.outcome -> string
+
+val summary_rows : Driver.outcome -> string list list
+(** Rows [rule; file:line; context; message] for the markdown gate
+    summary (findings, then stale baseline entries). *)

@@ -1,0 +1,32 @@
+(** The compiler-libs parsetree pass behind [pindisk-lint].
+
+    Parses one [.ml] source and emits every {e candidate} finding for
+    rules L1–L5, untriaged — {!Driver} applies the policy (config
+    scopes, allow entries, baseline) afterwards, so the mechanism here
+    is policy-free and each rule can be probed directly in tests.
+
+    The rules, briefly (full semantics and soundness caveats: DESIGN
+    5h):
+    - {b L1 determinism} — wall-clock reads ([Unix.gettimeofday],
+      [Sys.time], …) and global-state randomness ([Random.int] & co.;
+      [Random.State.*] is fine).
+    - {b L2 typed errors} — bare [raise]/[failwith]/[invalid_arg].
+    - {b L3 unsafe containment} — [*.unsafe_*], [Obj.magic], and
+      [external]s binding unchecked ([%…u]) primitives.
+    - {b L4 domain safety} — raw [Atomic.*], and mutation of state
+      captured from outside a function literal passed to
+      [Pool.parallel_for]/[Domain.spawn] ([ref] assignment, mutable
+      fields, [Hashtbl] mutators).
+    - {b L5 no silent swallow} — [try … with _ -> …] and
+      [match … with exception _ -> …] catch-alls.
+
+    Purely syntactic: no typing, no cross-module resolution. *)
+
+type source = { file : string; text : string }
+
+val string : source -> (Diag.t list, string) result
+(** Scan one in-memory source. Findings come back in {!Diag.compare}
+    order; [Error] carries the located parse failure. *)
+
+val file : path:string -> rel:string -> (Diag.t list, string) result
+(** {!string} on a file's contents; diagnostics use [rel]. *)

@@ -24,16 +24,23 @@ let pp_outcome ppf o =
   | None ->
       Format.fprintf ppf "incomplete (%d received, %d lost)" o.receptions o.losses
 
-let retrieve ?max_slots ?report ~program ~file ~needed ~start ~fault () =
-  if start < 0 then invalid_arg "Client.retrieve: negative start";
-  if needed < 1 then invalid_arg "Client.retrieve: needed must be >= 1";
-  (match Program.capacity program file with
-  | exception Not_found -> invalid_arg "Client.retrieve: file not in program"
-  | cap ->
-      if needed > cap then
-        invalid_arg "Client.retrieve: needed exceeds the file's capacity");
-  if Program.occurrences_per_period program file = 0 then
-    invalid_arg "Client.retrieve: file never broadcast";
+type error =
+  | Unknown_file
+  | Never_broadcast
+  | Needed_exceeds_capacity of int
+  | Bad_request of string
+
+let error_message = function
+  | Unknown_file -> "file not in program"
+  | Never_broadcast -> "file never broadcast"
+  | Needed_exceeds_capacity _ -> "needed exceeds the file's capacity"
+  | Bad_request m -> m
+
+let pp_error ppf e = Format.pp_print_string ppf (error_message e)
+
+(* The retrieval loop proper; inputs are validated by the entry points
+   below. *)
+let retrieve_loop ?max_slots ?report ~program ~file ~needed ~start ~fault () =
   let max_slots =
     match max_slots with
     | Some m -> m
@@ -99,6 +106,31 @@ let retrieve ?max_slots ?report ~program ~file ~needed ~start ~fault () =
       }
   | None ->
       { completed_at = None; elapsed = None; receptions = !receptions; losses = !losses }
+
+(* With adaptive degradation a file can be shed from the program while
+   clients still want it, so "not in program" is a runtime condition,
+   not only a caller bug — hence the typed entry point (lint rule L2). *)
+let retrieve_checked ?max_slots ?report ~program ~file ~needed ~start ~fault ()
+    =
+  if start < 0 then Error (Bad_request "negative start")
+  else if needed < 1 then Error (Bad_request "needed must be >= 1")
+  else
+    match Program.capacity program file with
+    | exception Not_found -> Error Unknown_file
+    | cap when needed > cap -> Error (Needed_exceeds_capacity cap)
+    | _ when Program.occurrences_per_period program file = 0 ->
+        Error Never_broadcast
+    | _ ->
+        Ok (retrieve_loop ?max_slots ?report ~program ~file ~needed ~start ~fault ())
+
+(* Legacy raising wrapper over [retrieve_checked]; kept for the many
+   existing call sites (allow-listed under lint rule L2). *)
+let retrieve ?max_slots ?report ~program ~file ~needed ~start ~fault () =
+  match
+    retrieve_checked ?max_slots ?report ~program ~file ~needed ~start ~fault ()
+  with
+  | Ok o -> o
+  | Error e -> invalid_arg ("Client.retrieve: " ^ error_message e)
 
 let deadline_met o ~deadline =
   match o.elapsed with Some e -> e <= deadline | None -> false

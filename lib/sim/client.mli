@@ -17,6 +17,24 @@ type outcome = {
 
 val pp_outcome : Format.formatter -> outcome -> unit
 
+type error =
+  | Unknown_file  (** not in the (possibly degraded) program *)
+  | Never_broadcast  (** in the program but on no slot *)
+  | Needed_exceeds_capacity of int
+      (** the file's capacity; the client could never finish *)
+  | Bad_request of string  (** malformed request (negative start, …) *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val retrieve_checked :
+  ?max_slots:int -> ?report:(slot:int -> file:int -> lost:bool -> unit) ->
+  program:Pindisk.Program.t -> file:int -> needed:int ->
+  start:int -> fault:Fault.t -> unit -> (outcome, error) result
+(** Typed variant of {!retrieve}: the conditions the raising API treats
+    as caller bugs become values. [Unknown_file] in particular is a
+    live runtime condition once {!Pindisk_adapt} sheds files from a
+    degraded program while clients still request them. *)
+
 val retrieve :
   ?max_slots:int -> ?report:(slot:int -> file:int -> lost:bool -> unit) ->
   program:Pindisk.Program.t -> file:int -> needed:int ->
@@ -29,7 +47,8 @@ val retrieve :
     reception outcome — the feedback path a server-side loss estimator
     (e.g. [Pindisk_adapt.Estimator]) consumes. Raises
     [Invalid_argument] when [needed] exceeds the file's capacity (the
-    client could never finish) or the file is not broadcast. *)
+    client could never finish) or the file is not broadcast — a legacy
+    wrapper over {!retrieve_checked}, which returns those as values. *)
 
 val deadline_met : outcome -> deadline:int -> bool
 (** Whether the retrieval finished within [deadline] slots of tuning in. *)

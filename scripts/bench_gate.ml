@@ -22,6 +22,7 @@
    slowdown (a gate that cannot fail gates nothing). *)
 
 module Json = Pindisk_check.Json
+module Summary = Pindisk_report.Summary
 
 type direction = Higher_is_better | Lower_is_better
 
@@ -158,30 +159,29 @@ let () =
       checks
   in
   let failed = List.filter (fun r -> not r.ok) rows in
-  (* Markdown summary (uploaded as a CI artifact). *)
-  let oc =
-    open_out_gen
-      (if append then [ Open_append; Open_creat ]
-       else [ Open_trunc; Open_creat; Open_wronly ])
-      0o644 summary_p
-  in
-  let out fmt = Printf.fprintf oc fmt in
-  if not append then out "# Benchmark gate\n\n";
-  out "## %s (%s vs %s, tolerance %.2fx%s)\n\n" kind fresh_p base_p tol
-    (if slowdown <> 1.0 then
-       Printf.sprintf ", injected slowdown %.2fx" slowdown
-     else "");
-  out "| metric | fresh | baseline | gate | verdict |\n";
-  out "|---|---|---|---|---|\n";
-  List.iter
-    (fun r ->
-      out "| %s | %.2f | %.2f | %s %.2f | %s |\n" r.name r.fresh_v r.base_v
-        (if r.better = "higher" then ">=" else "<=")
-        r.bound
-        (if r.ok then "pass" else "**FAIL**"))
-    rows;
-  out "\n";
-  close_out oc;
+  (* Markdown summary (uploaded as a CI artifact), via the reporting
+     glue shared with pindisk-lint. *)
+  Summary.with_summary ~path:summary_p ~append ~title:"Benchmark gate"
+    (fun oc ->
+      Printf.fprintf oc "## %s (%s vs %s, tolerance %.2fx%s)\n\n" kind fresh_p
+        base_p tol
+        (if slowdown <> 1.0 then
+           Printf.sprintf ", injected slowdown %.2fx" slowdown
+         else "");
+      Summary.table oc
+        ~header:[ "metric"; "fresh"; "baseline"; "gate"; "verdict" ]
+        (List.map
+           (fun r ->
+             [
+               r.name;
+               Printf.sprintf "%.2f" r.fresh_v;
+               Printf.sprintf "%.2f" r.base_v;
+               Printf.sprintf "%s %.2f"
+                 (if r.better = "higher" then ">=" else "<=")
+                 r.bound;
+               (if r.ok then "pass" else "**FAIL**");
+             ])
+           rows));
   List.iter
     (fun r ->
       Printf.printf "bench_gate: %-45s fresh %8.2f  baseline %8.2f  gate %s %.2f  %s\n"
@@ -190,9 +190,5 @@ let () =
         r.bound
         (if r.ok then "pass" else "FAIL"))
     rows;
-  if failed <> [] then begin
-    Printf.eprintf "bench_gate: %d/%d %s metrics regressed\n"
-      (List.length failed) (List.length rows) kind;
-    exit 1
-  end;
-  Printf.printf "bench_gate: %s ok (%d metrics)\n" kind (List.length rows)
+  Summary.conclude ~tool:"bench_gate" ~subject:kind
+    ~failures:(List.length failed) ~total:(List.length rows) ~noun:"metrics"

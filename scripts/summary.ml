@@ -1,0 +1,37 @@
+(* Shared gate-reporting glue.
+
+   bench_gate and pindisk-lint ship the same artifact shape — a
+   markdown summary file CI uploads, created fresh or appended to when
+   several gates share one artifact — and the same exit convention
+   (0 clean, 1 findings/regressions, 2 usage or I/O error). The file
+   handling, table emission and verdict live here so the two gates
+   cannot drift apart. *)
+
+let with_summary ~path ~append ~title f =
+  let oc =
+    open_out_gen
+      (if append then [ Open_append; Open_creat ]
+       else [ Open_trunc; Open_creat; Open_wronly ])
+      0o644 path
+  in
+  if not append then Printf.fprintf oc "# %s\n\n" title;
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+
+let table oc ~header rows =
+  Printf.fprintf oc "| %s |\n" (String.concat " | " header);
+  Printf.fprintf oc "|%s\n"
+    (String.concat "" (List.map (fun _ -> "---|") header));
+  List.iter
+    (fun row -> Printf.fprintf oc "| %s |\n" (String.concat " | " row))
+    rows;
+  output_char oc '\n'
+
+(* Print the one-line verdict and exit 1 on failure. [noun] names what
+   was gated ("metrics", "findings"). *)
+let conclude ~tool ~subject ~failures ~total ~noun =
+  if failures > 0 then begin
+    Printf.eprintf "%s: %d/%d %s %s failed the gate\n" tool failures total
+      subject noun;
+    exit 1
+  end;
+  Printf.printf "%s: %s ok (%d %s)\n" tool subject total noun

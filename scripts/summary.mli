@@ -1,0 +1,18 @@
+(** Shared gate-reporting glue for [bench_gate] and [pindisk-lint]: the
+    markdown summary artifact (create or append), table emission, and
+    the shared exit convention (0 clean, 1 failures, 2 usage/IO
+    error). *)
+
+val with_summary :
+  path:string -> append:bool -> title:string -> (out_channel -> unit) -> unit
+(** Open the summary file (truncating, or appending when several gates
+    share one artifact), write ["# title"] on a fresh file, run the
+    body, and close — also on exceptions. *)
+
+val table : out_channel -> header:string list -> string list list -> unit
+(** A GitHub-flavored markdown table followed by a blank line. *)
+
+val conclude :
+  tool:string -> subject:string -> failures:int -> total:int -> noun:string -> unit
+(** Print the one-line verdict ([tool: subject ok (N noun)]) on stdout,
+    or the failure count on stderr and [exit 1]. *)

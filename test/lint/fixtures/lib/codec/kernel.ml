@@ -1,0 +1,6 @@
+(* Containment proof: unsafe access inside the excepted codec dir. *)
+let axpy dst src =
+  for i = 0 to Bytes.length dst - 1 do
+    Bytes.unsafe_set dst i
+      (Char.chr (Char.code (Bytes.unsafe_get src i) lxor 1))
+  done

@@ -1,0 +1,3 @@
+(* L1: wall-clock reads and global-RNG calls in slot-domain code. *)
+let now () = Unix.gettimeofday ()
+let jitter () = Random.int 100

@@ -1,0 +1,25 @@
+(* L4: outer mutable state mutated from a closure handed to a spawn
+   point, and a raw Atomic outside the sanctioned mediators. *)
+let hits = Atomic.make 0
+
+let total pool jobs =
+  let sum = ref 0 in
+  Pool.parallel_for pool 0 (Array.length jobs) (fun i ->
+      sum := !sum + jobs.(i));
+  !sum
+
+let count tbl keys =
+  let d =
+    Domain.spawn (fun () ->
+        Array.iter (fun k -> Hashtbl.replace tbl k ()) keys)
+  in
+  Domain.join d
+
+let fine jobs =
+  (* Per-iteration local state: not a capture, must not fire. *)
+  Array.map
+    (fun j ->
+      let acc = ref 0 in
+      acc := j;
+      !acc)
+    jobs

@@ -1,0 +1,3 @@
+(* Non-firing proof: seeded Random.State is the sanctioned RNG. *)
+let draw st = Random.State.int st 100
+let fresh seed = Random.State.make [| seed |]

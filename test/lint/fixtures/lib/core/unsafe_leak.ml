@@ -1,0 +1,4 @@
+(* L3: unchecked access outside the codec kernels. *)
+let peek b = Bytes.unsafe_get b 0
+
+external get16u : Bytes.t -> int -> int = "%caml_bytes_get16u"

@@ -1,0 +1,2 @@
+(* Covered by the fixture config's allow stanza: must not fire. *)
+let validate x = if x < 0 then invalid_arg "negative" else x

@@ -1,0 +1,3 @@
+(* L2: bare raises on a transport path. *)
+let fetch x = if x < 0 then failwith "bad offset" else x
+let lookup k tbl = try Hashtbl.find tbl k with Not_found -> raise Exit

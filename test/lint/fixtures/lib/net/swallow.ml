@@ -1,0 +1,3 @@
+(* L5: catch-alls that discard the exception. *)
+let ignore_errors f = try f () with _ -> ()
+let first_or_zero l = match List.hd l with v -> v | exception _ -> 0

@@ -1,0 +1,3 @@
+(* Containment proof: raw Atomic inside the excepted mediator dir. *)
+let cell = Atomic.make 0
+let bump () = Atomic.incr cell

@@ -1,0 +1,199 @@
+The fixture corpus holds one bad snippet per rule plus non-firing
+proofs (seeded RNG, the allow-listed validate, unsafe access inside
+the excepted codec dir, a raw Atomic inside the excepted sync dir).
+--today pins baseline-expiry evaluation so the output is stable.
+
+  $ pindisk-lint --root fixtures --config fixtures/lint.config \
+  >   --baseline fixtures/lint.baseline --today 2026-08-08 lib
+  lib/core/clock.ml:2:13: L1 (now) Unix.gettimeofday: wall-clock/global-RNG read; slot-domain code must be a pure function of (seed, slot) or replay breaks
+  lib/core/clock.ml:3:16: L1 (jitter) Random.int: wall-clock/global-RNG read; slot-domain code must be a pure function of (seed, slot) or replay breaks
+  lib/core/expired.ml:2:13: L1 (now) Sys.time: wall-clock/global-RNG read; slot-domain code must be a pure function of (seed, slot) or replay breaks
+  lib/core/race.ml:3:11: L4 (hits) raw Atomic.make outside lib/obs/lib/util; shared state goes through Obs.Registry counters or Pindisk_util.Pool
+  lib/core/race.ml:8:6: L4 (total) ref sum is mutated inside the closure passed to Pool.parallel_for but defined outside it; use Atomic (or merge per-domain results after the join)
+  lib/core/race.ml:14:29: L4 (count) Hashtbl.replace on tbl inside the closure passed to Domain.spawn races: Hashtbl is not domain-safe; shard per domain or hold a Mutex
+  lib/core/unsafe_leak.ml:2:13: L3 (peek) Bytes.unsafe_get: unchecked access outside the gf256/ida kernels; use the bounds-checked variant
+  lib/core/unsafe_leak.ml:4:0: L3 (get16u) external get16u binds unchecked primitive "%caml_bytes_get16u" outside the gf256/ida kernels
+  lib/net/errors.ml:2:28: L2 (fetch) bare failwith in a transport/retrieve path; return a typed error ([retrieve_result]-style) instead
+  lib/net/errors.ml:3:60: L2 (lookup) bare raise in a transport/retrieve path; return a typed error ([retrieve_result]-style) instead
+  lib/net/swallow.ml:2:36: L5 (ignore_errors) catch-all handler discards the exception; match the specific exceptions (or rebind and re-raise)
+  lib/net/swallow.ml:3:52: L5 (first_or_zero) catch-all [exception _] case discards the exception; match the specific exceptions
+  pindisk-lint: expired suppress L1 lib/core/expired.ml now 2020-01-01 (baseline line 7) — the finding above is live again
+  pindisk-lint: 12 findings (L1 3, L2 2, L3 2, L4 3, L5 2) in 11 files, 1 suppressed, 0 stale
+  [1]
+
+The JSON document is byte-stable (same print -> parse -> print
+identity the metrics schema pins):
+
+  $ pindisk-lint --root fixtures --config fixtures/lint.config \
+  >   --baseline fixtures/lint.baseline --today 2026-08-08 --json lib
+  {
+    "schema": "pindisk-lint v1",
+    "files": 11,
+    "findings": [
+      {
+        "rule": "L1",
+        "file": "lib/core/clock.ml",
+        "line": 2,
+        "col": 13,
+        "context": "now",
+        "message": "Unix.gettimeofday: wall-clock/global-RNG read; slot-domain code must be a pure function of (seed, slot) or replay breaks"
+      },
+      {
+        "rule": "L1",
+        "file": "lib/core/clock.ml",
+        "line": 3,
+        "col": 16,
+        "context": "jitter",
+        "message": "Random.int: wall-clock/global-RNG read; slot-domain code must be a pure function of (seed, slot) or replay breaks"
+      },
+      {
+        "rule": "L1",
+        "file": "lib/core/expired.ml",
+        "line": 2,
+        "col": 13,
+        "context": "now",
+        "message": "Sys.time: wall-clock/global-RNG read; slot-domain code must be a pure function of (seed, slot) or replay breaks"
+      },
+      {
+        "rule": "L4",
+        "file": "lib/core/race.ml",
+        "line": 3,
+        "col": 11,
+        "context": "hits",
+        "message": "raw Atomic.make outside lib/obs/lib/util; shared state goes through Obs.Registry counters or Pindisk_util.Pool"
+      },
+      {
+        "rule": "L4",
+        "file": "lib/core/race.ml",
+        "line": 8,
+        "col": 6,
+        "context": "total",
+        "message": "ref sum is mutated inside the closure passed to Pool.parallel_for but defined outside it; use Atomic (or merge per-domain results after the join)"
+      },
+      {
+        "rule": "L4",
+        "file": "lib/core/race.ml",
+        "line": 14,
+        "col": 29,
+        "context": "count",
+        "message": "Hashtbl.replace on tbl inside the closure passed to Domain.spawn races: Hashtbl is not domain-safe; shard per domain or hold a Mutex"
+      },
+      {
+        "rule": "L3",
+        "file": "lib/core/unsafe_leak.ml",
+        "line": 2,
+        "col": 13,
+        "context": "peek",
+        "message": "Bytes.unsafe_get: unchecked access outside the gf256/ida kernels; use the bounds-checked variant"
+      },
+      {
+        "rule": "L3",
+        "file": "lib/core/unsafe_leak.ml",
+        "line": 4,
+        "col": 0,
+        "context": "get16u",
+        "message": "external get16u binds unchecked primitive \"%caml_bytes_get16u\" outside the gf256/ida kernels"
+      },
+      {
+        "rule": "L2",
+        "file": "lib/net/errors.ml",
+        "line": 2,
+        "col": 28,
+        "context": "fetch",
+        "message": "bare failwith in a transport/retrieve path; return a typed error ([retrieve_result]-style) instead"
+      },
+      {
+        "rule": "L2",
+        "file": "lib/net/errors.ml",
+        "line": 3,
+        "col": 60,
+        "context": "lookup",
+        "message": "bare raise in a transport/retrieve path; return a typed error ([retrieve_result]-style) instead"
+      },
+      {
+        "rule": "L5",
+        "file": "lib/net/swallow.ml",
+        "line": 2,
+        "col": 36,
+        "context": "ignore_errors",
+        "message": "catch-all handler discards the exception; match the specific exceptions (or rebind and re-raise)"
+      },
+      {
+        "rule": "L5",
+        "file": "lib/net/swallow.ml",
+        "line": 3,
+        "col": 52,
+        "context": "first_or_zero",
+        "message": "catch-all [exception _] case discards the exception; match the specific exceptions"
+      }
+    ],
+    "suppressed": 1,
+    "expired": [
+      {
+        "rule": "L1",
+        "file": "lib/core/expired.ml",
+        "context": "now",
+        "expires": "2020-01-01",
+        "line": 7
+      }
+    ],
+    "stale": [],
+    "by_rule": {
+      "L1": 3,
+      "L2": 2,
+      "L3": 2,
+      "L4": 3,
+      "L5": 2
+    },
+    "errors": []
+  }
+  [1]
+
+A baseline entry matching nothing is stale and fails the run even on
+an otherwise clean tree:
+
+  $ pindisk-lint --root fixtures --config fixtures/lint.config \
+  >   --baseline fixtures/stale.baseline --today 2026-08-08 lib/codec lib/sync
+  pindisk-lint: stale suppress L2 lib/net/gone.ml fetch 2030-01-01 (baseline line 4) — matches nothing, delete it
+  pindisk-lint: 0 findings (-) in 2 files, 0 suppressed, 1 stale
+  [1]
+
+The contained dirs alone are clean (exit 0), and the summary artifact
+follows the shared gate convention:
+
+  $ pindisk-lint --root fixtures --config fixtures/lint.config \
+  >   --today 2026-08-08 --summary gate.md lib/codec lib/sync
+  pindisk-lint: clean (2 files, 0 suppressed)
+  $ cat gate.md
+  # Lint gate
+  
+  ## pindisk-lint (fixtures/lint.config, baseline as of 2026-08-08)
+  
+  clean (2 files, 0 suppressed)
+  
+
+Self-test: injecting a violation into the clean subtree flips the
+exit code.
+
+  $ cat > fixtures/lib/sync/zz_inject.ml << 'EOF'
+  > let peek b = Bytes.unsafe_get b 0
+  > EOF
+  $ pindisk-lint --root fixtures --config fixtures/lint.config \
+  >   --today 2026-08-08 lib/codec lib/sync
+  lib/sync/zz_inject.ml:1:13: L3 (peek) Bytes.unsafe_get: unchecked access outside the gf256/ida kernels; use the bounds-checked variant
+  pindisk-lint: 1 finding (L3 1) in 3 files, 0 suppressed, 0 stale
+  [1]
+
+A parse failure is an error, not a finding: exit 2.
+
+  $ cat > fixtures/lib/sync/zz_broken.ml << 'EOF'
+  > let = syntax error
+  > EOF
+  $ pindisk-lint --root fixtures --config fixtures/lint.config \
+  >   --today 2026-08-08 lib/codec lib/sync
+  pindisk-lint: error: lib/sync/zz_broken.ml: File "lib/sync/zz_broken.ml", line 1, characters 4-5:
+                         Error: Syntax error
+  
+  lib/sync/zz_inject.ml:1:13: L3 (peek) Bytes.unsafe_get: unchecked access outside the gf256/ida kernels; use the bounds-checked variant
+  pindisk-lint: 1 finding (L3 1) in 4 files, 0 suppressed, 0 stale
+  [2]

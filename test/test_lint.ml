@@ -1,0 +1,298 @@
+(* pindisk-lint self-tests: each rule's scan mechanism probed directly
+   on in-memory sources, the config/baseline parsers, and the driver's
+   policy application (suppression, expiry, staleness, exit codes).
+   The cram test in test/lint pins the CLI's exact bytes; here we pin
+   the semantics. *)
+
+module Lint = Pindisk_lint
+module Scan = Lint.Scan
+module Config = Lint.Config
+module Baseline = Lint.Baseline
+module Driver = Lint.Driver
+module Report = Lint.Report
+module Json = Pindisk_check.Json
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let scan text =
+  match Scan.string { Scan.file = "t.ml"; text } with
+  | Ok ds -> ds
+  | Error e -> Alcotest.failf "unexpected parse error: %s" e
+
+let fired text = List.map (fun d -> d.Lint.Diag.rule) (scan text)
+let check_fired name expect text = Alcotest.(check (list string)) name expect (fired text)
+
+(* ---- scan: one probe per rule, plus the non-firing counterparts --- *)
+
+let test_scan_l1 () =
+  check_fired "gettimeofday" [ "L1" ] "let now () = Unix.gettimeofday ()";
+  check_fired "Sys.time" [ "L1" ] "let t () = Sys.time ()";
+  check_fired "global Random" [ "L1" ] "let j () = Random.int 100";
+  check_fired "Stdlib prefix stripped" [ "L1" ] "let j () = Stdlib.Random.int 100";
+  check_fired "self_init" [ "L1" ] "let () = Random.self_init ()";
+  check_fired "seeded state is sanctioned" []
+    "let draw st = Random.State.int st 100";
+  check_fired "unrelated Unix call" [] "let p () = Unix.getpid ()"
+
+let test_scan_l2 () =
+  check_fired "failwith" [ "L2" ] {|let f () = failwith "boom"|};
+  check_fired "raise" [ "L2" ] "let f () = raise Not_found";
+  check_fired "invalid_arg" [ "L2" ] {|let f () = invalid_arg "x"|};
+  check_fired "raise_notrace" [ "L2" ] "let f () = raise_notrace Exit";
+  check_fired "qualified raise" [ "L2" ] "let f () = Stdlib.raise Exit";
+  check_fired "a result is not a raise" [] {|let f () = Error "boom"|}
+
+let test_scan_l3 () =
+  check_fired "unsafe_get" [ "L3" ] "let f b = Bytes.unsafe_get b 0";
+  check_fired "unsafe_set" [ "L3" ] "let f a = Array.unsafe_set a 0 1";
+  check_fired "Obj.magic" [ "L3" ] "let f x = Obj.magic x";
+  check_fired "unchecked external" [ "L3" ]
+    {|external g : Bytes.t -> int -> int = "%caml_bytes_get16u"|};
+  check_fired "checked external" []
+    {|external g : Bytes.t -> int -> int = "%caml_bytes_get16"|};
+  check_fired "non-primitive external" []
+    {|external id : 'a -> 'a = "%identity"|}
+
+let test_scan_l4_atomic () =
+  check_fired "raw Atomic" [ "L4" ] "let c = Atomic.make 0";
+  check_fired "Atomic op" [ "L4" ] "let f c = Atomic.incr c"
+
+let test_scan_l4_closure () =
+  check_fired "captured ref under parallel_for" [ "L4" ]
+    "let f pool n = let s = ref 0 in Pool.parallel_for pool 0 n (fun i -> s := !s + i)";
+  check_fired "captured ref under Domain.spawn" [ "L4" ]
+    "let f s = Domain.spawn (fun () -> incr s)";
+  check_fired "captured Hashtbl under spawn" [ "L4" ]
+    "let f t = Domain.spawn (fun () -> Hashtbl.replace t 1 ())";
+  check_fired "captured mutable field" [ "L4" ]
+    "let f pool r n = Pool.parallel_for pool 0 n (fun i -> r.count <- i)";
+  check_fired "closure-local ref is fine" []
+    "let f pool n = Pool.parallel_for pool 0 n (fun i -> let s = ref i in ignore !s)";
+  check_fired "parameter shadowing is fine" []
+    "let f pool n = Pool.parallel_for pool 0 n (fun s -> ignore s)";
+  check_fired "capture under a non-spawn iterator is fine" []
+    "let f l = let s = ref 0 in List.iter (fun i -> s := !s + i) l"
+
+let test_scan_l5 () =
+  check_fired "try with _" [ "L5" ] "let f g = try g () with _ -> 0";
+  check_fired "aliased wildcard" [ "L5" ] "let f g = try g () with _ as e -> ignore e; 0";
+  check_fired "or-pattern wildcard arm" [ "L5" ]
+    "let f g = try g () with Not_found | _ -> 0";
+  check_fired "match exception _" [ "L5" ]
+    "let f l = match List.hd l with v -> v | exception _ -> 0";
+  check_fired "specific handler is fine" []
+    "let f g = try g () with Not_found -> 0";
+  (* rebind-and-re-raise fires L2 (bare raise) but, rightly, no L5 *)
+  check_fired "rebound handler fires no L5" [ "L2" ]
+    "let f g = try g () with e -> raise e"
+
+let test_scan_context_and_order () =
+  let ds =
+    scan "let a () = failwith \"x\"\nlet b () = Sys.time ()"
+  in
+  check_int "both findings" 2 (List.length ds);
+  let d1 = List.nth ds 0 and d2 = List.nth ds 1 in
+  check_string "first context" "a" d1.Lint.Diag.context;
+  check_string "second context" "b" d2.Lint.Diag.context;
+  check_bool "position-major order" true (d1.Lint.Diag.line < d2.Lint.Diag.line);
+  let top = scan "let () = failwith \"x\"" in
+  check_string "unit pattern has no name" "<toplevel>"
+    (List.hd top).Lint.Diag.context
+
+let test_scan_parse_error () =
+  match Scan.string { Scan.file = "broken.ml"; text = "let = syntax error" } with
+  | Ok _ -> Alcotest.fail "expected a parse error"
+  | Error e -> check_bool "error names the file" true
+      (String.length e > 0 && String.sub e 0 9 = "broken.ml")
+
+(* ---- config ------------------------------------------------------- *)
+
+let config_exn s =
+  match Config.of_string s with
+  | Ok c -> c
+  | Error e -> Alcotest.failf "config rejected: %s" e
+
+let test_config_parse () =
+  let c =
+    config_exn
+      "# comment\npindisk-lint v1\nscope L1 lib/sim lib/store\nexcept L1 \
+       lib/sim/toy\nscope L3 *\nallow L2 lib/net/a.ml validate\n"
+  in
+  check_bool "scoped file" true (Config.applies c ~rule:"L1" ~file:"lib/sim/fault.ml");
+  check_bool "component boundary" false
+    (Config.applies c ~rule:"L1" ~file:"lib/simx.ml");
+  check_bool "excepted subdir" false
+    (Config.applies c ~rule:"L1" ~file:"lib/sim/toy/demo.ml");
+  check_bool "star scope" true (Config.applies c ~rule:"L3" ~file:"anything.ml");
+  check_bool "unscoped rule is off" false
+    (Config.applies c ~rule:"L2" ~file:"lib/net/a.ml");
+  let d ~context =
+    Lint.Diag.make ~rule:"L2" ~file:"lib/net/a.ml" ~line:1 ~col:0 ~context
+      ~message:"m"
+  in
+  check_bool "allow hits its context" true (Config.allowed c (d ~context:"validate"));
+  check_bool "allow misses others" false (Config.allowed c (d ~context:"fetch"))
+
+let test_config_errors () =
+  let rejected s = Result.is_error (Config.of_string s) in
+  check_bool "missing header" true (rejected "scope L1 lib\n");
+  check_bool "unknown rule" true (rejected "pindisk-lint v1\nscope L9 lib\n");
+  check_bool "allow arity" true (rejected "pindisk-lint v1\nallow L2 lib\n");
+  check_bool "unknown stanza" true (rejected "pindisk-lint v1\nban L2 lib\n");
+  check_bool "error carries the line" true
+    (match Config.of_string "pindisk-lint v1\nscope L9 lib\n" with
+    | Error e -> String.length e >= 6 && String.sub e 0 6 = "line 2"
+    | Ok _ -> false)
+
+(* ---- baseline ----------------------------------------------------- *)
+
+let test_baseline_parse_and_match () =
+  let b =
+    match
+      Baseline.of_string
+        "pindisk-lint-baseline v1\n# why\nsuppress L2 lib/sim retrieve \
+         2027-06-30\nsuppress L1 lib/core/a.ml * 2020-01-01\n"
+    with
+    | Ok b -> b
+    | Error e -> Alcotest.failf "baseline rejected: %s" e
+  in
+  check_int "two entries" 2 (List.length b);
+  let e1 = List.nth b 0 and e2 = List.nth b 1 in
+  let d file context =
+    Lint.Diag.make ~rule:"L2" ~file ~line:9 ~col:0 ~context ~message:"m"
+  in
+  check_bool "dir prefix + context" true
+    (Baseline.matches e1 (d "lib/sim/transport.ml" "retrieve"));
+  check_bool "context mismatch" false
+    (Baseline.matches e1 (d "lib/sim/transport.ml" "other"));
+  check_bool "star context" true
+    (Baseline.matches e2
+       (Lint.Diag.make ~rule:"L1" ~file:"lib/core/a.ml" ~line:1 ~col:0
+          ~context:"whatever" ~message:"m"));
+  check_bool "not yet expired" false (Baseline.expired ~today:"2026-08-08" e1);
+  check_bool "expiry day itself still suppresses" false
+    (Baseline.expired ~today:"2027-06-30" e1);
+  check_bool "expired" true (Baseline.expired ~today:"2026-08-08" e2)
+
+let test_baseline_errors () =
+  let rejected s = Result.is_error (Baseline.of_string s) in
+  check_bool "missing header" true (rejected "suppress L2 lib f 2030-01-01\n");
+  check_bool "bad date" true
+    (rejected "pindisk-lint-baseline v1\nsuppress L2 lib f 2030-1-1\n");
+  check_bool "bad rule" true
+    (rejected "pindisk-lint-baseline v1\nsuppress L9 lib f 2030-01-01\n");
+  check_bool "valid_date accepts ISO" true (Baseline.valid_date "2026-08-08");
+  check_bool "valid_date rejects junk" false (Baseline.valid_date "tomorrow")
+
+(* ---- driver: policy application and the gate exit codes ----------- *)
+
+let policy =
+  config_exn "pindisk-lint v1\nscope L1 lib\nscope L2 lib\nscope L5 lib\n"
+
+let src file text = { Scan.file; text }
+let clean = src "lib/ok.ml" "let add a b = a + b"
+let dirty = src "lib/bad.ml" "let now () = Unix.gettimeofday ()"
+
+let run ?(baseline = []) ?(today = "2026-08-08") sources =
+  Driver.run ~config:policy ~baseline ~today ~sources
+
+let test_driver_exit_codes () =
+  check_int "clean tree" 0 (Driver.exit_code (run [ clean ]));
+  let o = run [ clean; dirty ] in
+  check_int "findings gate" 1 (Driver.exit_code o);
+  check_int "one finding" 1 (List.length o.Driver.findings);
+  check_int "files counted" 2 o.Driver.files;
+  let broken = src "lib/broken.ml" "let = nope" in
+  check_int "parse error dominates" 2 (Driver.exit_code (run [ dirty; broken ]))
+
+let test_driver_scope_filters () =
+  (* Same violation outside the scoped dir: candidate but not a finding. *)
+  let elsewhere = src "bench/bad.ml" "let now () = Unix.gettimeofday ()" in
+  let o = run [ elsewhere ] in
+  check_int "out-of-scope file is clean" 0 (List.length o.Driver.findings)
+
+let test_driver_baseline_lifecycle () =
+  let entry expires =
+    {
+      Baseline.rule = "L1";
+      file = "lib/bad.ml";
+      context = "now";
+      expires;
+      ln = 1;
+    }
+  in
+  let live = run ~baseline:[ entry "2030-01-01" ] [ clean; dirty ] in
+  check_int "suppressed" 0 (List.length live.Driver.findings);
+  check_int "recorded" 1 (List.length live.Driver.suppressed);
+  check_int "suppression gates nothing" 0 (Driver.exit_code live);
+  let lapsed = run ~baseline:[ entry "2020-01-01" ] [ clean; dirty ] in
+  check_int "expired entry reactivates" 1 (List.length lapsed.Driver.findings);
+  check_int "expiry is reported" 1 (List.length lapsed.Driver.expired);
+  check_int "reactivated finding gates" 1 (Driver.exit_code lapsed);
+  let stale = run ~baseline:[ entry "2030-01-01" ] [ clean ] in
+  check_int "unmatched entry is stale" 1 (List.length stale.Driver.stale);
+  check_int "stale gates a clean tree" 1 (Driver.exit_code stale)
+
+let test_driver_injection_flips_gate () =
+  (* The CI self-test in miniature: adding one violating file must flip
+     the exit code of an otherwise clean run. *)
+  let before = Driver.exit_code (run [ clean ]) in
+  let after =
+    Driver.exit_code
+      (run [ clean; src "lib/zz_inject.ml" "let f () = failwith \"boom\"" ])
+  in
+  check_int "clean before" 0 before;
+  check_int "non-zero after" 1 after
+
+(* ---- report: byte-stable JSON ------------------------------------- *)
+
+let test_report_json_stable () =
+  let o = run [ clean; dirty ] in
+  let s1 = Json.to_string (Report.to_json o) in
+  let s2 = Json.to_string (Report.to_json o) in
+  check_string "same bytes" s1 s2;
+  check_bool "schema first" true
+    (String.length s1 > 30
+    && String.sub s1 0 33 = "{\n  \"schema\": \"pindisk-lint v1\",\n");
+  check_bool "summary counts findings" true
+    (Report.summary_line o = "1 finding (L1 1) in 2 files, 0 suppressed, 0 stale")
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "scan",
+        [
+          Alcotest.test_case "L1 determinism" `Quick test_scan_l1;
+          Alcotest.test_case "L2 typed errors" `Quick test_scan_l2;
+          Alcotest.test_case "L3 unsafe containment" `Quick test_scan_l3;
+          Alcotest.test_case "L4 raw atomics" `Quick test_scan_l4_atomic;
+          Alcotest.test_case "L4 closure captures" `Quick test_scan_l4_closure;
+          Alcotest.test_case "L5 silent swallow" `Quick test_scan_l5;
+          Alcotest.test_case "context and order" `Quick test_scan_context_and_order;
+          Alcotest.test_case "parse errors" `Quick test_scan_parse_error;
+        ] );
+      ( "config",
+        [
+          Alcotest.test_case "parse and apply" `Quick test_config_parse;
+          Alcotest.test_case "rejects malformed" `Quick test_config_errors;
+        ] );
+      ( "baseline",
+        [
+          Alcotest.test_case "parse, match, expire" `Quick
+            test_baseline_parse_and_match;
+          Alcotest.test_case "rejects malformed" `Quick test_baseline_errors;
+        ] );
+      ( "driver",
+        [
+          Alcotest.test_case "exit codes" `Quick test_driver_exit_codes;
+          Alcotest.test_case "scope filtering" `Quick test_driver_scope_filters;
+          Alcotest.test_case "baseline lifecycle" `Quick
+            test_driver_baseline_lifecycle;
+          Alcotest.test_case "injected violation flips the gate" `Quick
+            test_driver_injection_flips_gate;
+        ] );
+      ( "report",
+        [ Alcotest.test_case "byte-stable JSON" `Quick test_report_json_stable ] );
+    ]

@@ -174,6 +174,33 @@ let test_client_validation () =
         (Client.retrieve ~program:(toy_flat ()) ~file:9 ~needed:1 ~start:0
            ~fault:(Fault.none ()) ()))
 
+let check_client_error = Alcotest.(check (result reject (of_pp Client.pp_error)))
+
+let test_client_retrieve_checked () =
+  (* Every raising case has a typed counterpart... *)
+  check_client_error "unknown file" (Error Client.Unknown_file)
+    (Client.retrieve_checked ~program:(toy_flat ()) ~file:9 ~needed:1 ~start:0
+       ~fault:(Fault.none ()) ());
+  check_client_error "needed beyond capacity"
+    (Error (Client.Needed_exceeds_capacity 5))
+    (Client.retrieve_checked ~program:(toy_flat ()) ~file:0 ~needed:6 ~start:0
+       ~fault:(Fault.none ()) ());
+  check_client_error "negative start" (Error (Client.Bad_request "negative start"))
+    (Client.retrieve_checked ~program:(toy_flat ()) ~file:0 ~needed:5 ~start:(-1)
+       ~fault:(Fault.none ()) ());
+  (* ...and the Ok path is the same simulation as the raising API. *)
+  match
+    Client.retrieve_checked ~program:(toy_flat ()) ~file:0 ~needed:5 ~start:0
+      ~fault:(Fault.none ()) ()
+  with
+  | Error e -> Alcotest.failf "unexpected error: %a" Client.pp_error e
+  | Ok o ->
+      let o' =
+        Client.retrieve ~program:(toy_flat ()) ~file:0 ~needed:5 ~start:0
+          ~fault:(Fault.none ()) ()
+      in
+      check_bool "checked and raising APIs agree" true (o = o')
+
 let test_client_report_hook () =
   let p = toy_ida () in
   let reports = ref [] in
@@ -980,6 +1007,8 @@ let () =
           Alcotest.test_case "flat worst single loss" `Quick test_client_flat_worst_loss;
           Alcotest.test_case "max_slots cap" `Quick test_client_max_slots;
           Alcotest.test_case "validation" `Quick test_client_validation;
+          Alcotest.test_case "typed retrieve_checked" `Quick
+            test_client_retrieve_checked;
           Alcotest.test_case "report hook" `Quick test_client_report_hook;
         ] );
       ( "adversary",
