@@ -48,29 +48,48 @@ let () =
     done
   done
 
-(* Unaligned 16-bit loads/stores, no bounds check — the same compiler
+(* Unaligned loads/stores, no bounds check — the same compiler
    primitives [Stdlib.Bytes] builds its checked accessors from. Native
    byte order on both ends keeps the wide tables endian-agnostic: a unit
    read from a source buffer and the unit stored in the table transpose
-   bytes identically. *)
+   bytes identically. The 64-bit load feeds the SWAR lane kernel below,
+   which consumes eight source bytes per load. *)
 external unsafe_get16 : bytes -> int -> int = "%caml_bytes_get16u"
 external unsafe_set16 : bytes -> int -> int -> unit = "%caml_bytes_set16u"
+external unsafe_get64 : bytes -> int -> int64 = "%caml_bytes_get64u"
 
 (* Wide tables: [wide_tabs.(c)] maps every 16-bit source unit [(x0, x1)]
    to the unit [(c*x0, c*x1)], halving the lookups per output byte in the
-   fused row kernels. 128 KiB per coefficient, built lazily on first use
-   (up to 32 MiB if all 255 nonzero coefficients appear). Publication is
-   a single pointer store after the fill loop, so concurrent readers see
-   either [Bytes.empty] (and rebuild, idempotently) or a complete table;
-   parallel encoders should still call [ensure_tables] from the
-   submitting domain first to avoid racy duplicate builds. *)
-let wide_tabs = Array.make 256 Bytes.empty
+   single-row kernels. 128 KiB per coefficient, built lazily on first use
+   (up to 32 MiB if all 255 nonzero coefficients appear).
 
-let wide_table c =
+   Publication is one-shot: the first caller to CAS the slot from empty
+   to the [building] sentinel owns the build and publishes the finished
+   table with a plain atomic store; every racing caller spins on the slot
+   until the table appears. Concurrent first-use of one coefficient
+   therefore builds its table exactly once — [wide_table_builds] counts
+   the builds so tests can pin that down — and readers can never observe
+   a partially-filled table. *)
+let wide_tabs : Bytes.t Atomic.t array =
+  Array.init 256 (fun _ -> Atomic.make Bytes.empty)
+
+let building = Bytes.create 0
+let builds = Atomic.make 0
+let wide_table_builds () = Atomic.get builds
+
+let rec wide_table c =
   let c = c land 0xff in
-  let t = wide_tabs.(c) in
+  let slot = Array.unsafe_get wide_tabs c in
+  let t = Atomic.get slot in
   if Bytes.length t <> 0 then t
+  else if t == building || not (Atomic.compare_and_set slot Bytes.empty building)
+  then begin
+    (* Another domain owns the build; wait for publication. *)
+    Domain.cpu_relax ();
+    wide_table c
+  end
   else begin
+    Atomic.incr builds;
     let t = Bytes.create 131072 in
     let base = c lsl 8 in
     for x = 0 to 65535 do
@@ -78,7 +97,7 @@ let wide_table c =
       let hi = Char.code (Bytes.unsafe_get mul_tab (base lor (x lsr 8))) in
       unsafe_set16 t (2 * x) (lo lor (hi lsl 8))
     done;
-    wide_tabs.(c) <- t;
+    Atomic.set slot t;
     t
   end
 
@@ -231,96 +250,169 @@ let encode_row_strided ~dst ~coeffs ~src ~stride =
     end
   end
 
-(* The grouped kernels below skip no zero coefficients: the wide table of
-   0 is all-zeroes, so a zero coefficient costs one wasted lookup per unit
-   instead of a branch — dispersal matrices have none anyway. *)
+(* SWAR lane tables: for a group of up to four matrix rows, [tabs.(j)] is
+   a 256-entry int array whose entry [b] packs the four products
+   [rows.(r).(j) * b] into byte lanes [r] of one native int. The kernel
+   then reads eight source bytes per [unsafe_get64] load and, per
+   coefficient, does one table lookup per source byte that accumulates
+   into {e all} rows of the group at once via a single XOR-fold — the
+   per-output-byte cost is [k/4] lookups for a 4-row group, against [k/2]
+   (from 128 KiB tables that overflow L1) for the retired wide-table
+   grouped kernels. Zero coefficients are not skipped: their lane is
+   all-zero and costs nothing extra, and dispersal matrices have none.
 
-let tabs_of row = Array.map wide_table row
+   A [lanes] value is immutable after construction, so it is safe to
+   build once and share across domains (publish it through an [Atomic]
+   or build it before spawning). *)
 
-let fused1 ~dst ~tabs ~src ~stride =
-  let k = Array.length tabs in
-  let n = Bytes.length dst in
-  let units = n / 2 in
-  for u = 0 to units - 1 do
-    let du = 2 * u in
+type lanes = { width : int; group : int; tabs : int array array }
+
+let lanes rows =
+  let group = Array.length rows in
+  if group < 1 || group > 4 then invalid_arg "Gf256.lanes: need 1 to 4 rows";
+  let width = Array.length rows.(0) in
+  Array.iter
+    (fun r ->
+      if Array.length r <> width then
+        invalid_arg "Gf256.lanes: row widths disagree")
+    rows;
+  let tabs =
+    Array.init width (fun j ->
+        let t = Array.make 256 0 in
+        for lane = 0 to group - 1 do
+          let base = (rows.(lane).(j) land 0xff) lsl 8 in
+          let sh = lane * 8 in
+          for b = 0 to 255 do
+            t.(b) <-
+              t.(b)
+              lor (Char.code (Bytes.unsafe_get mul_tab (base lor b)) lsl sh)
+          done
+        done;
+        t)
+  in
+  { width; group; tabs }
+
+let lanes_group l = l.group
+let lanes_width l = l.width
+
+(* Shared 8-byte step: fold coefficient [j]'s lane table over the eight
+   source bytes at [off], leaving the packed row lanes for source bytes
+   0..3 in [a0..a3] and for bytes 4..7 in [b0..b3]. Two accumulator
+   quartets rather than one 64-bit packing: OCaml ints are 63-bit, so
+   packing the high half with [lsl 32] would drop lane 4's top bit. *)
+
+let[@inline] swar_fold tabs k src stride off a0 a1 a2 a3 b0 b1 b2 b3 =
+  for j = 0 to k - 1 do
+    let x = unsafe_get64 src ((j * stride) + off) in
+    let xl = Int64.to_int x land 0xffffffff in
+    let xh = Int64.to_int (Int64.shift_right_logical x 32) land 0xffffffff in
+    let t = Array.unsafe_get tabs j in
+    a0 := !a0 lxor Array.unsafe_get t (xl land 0xff);
+    a1 := !a1 lxor Array.unsafe_get t ((xl lsr 8) land 0xff);
+    a2 := !a2 lxor Array.unsafe_get t ((xl lsr 16) land 0xff);
+    a3 := !a3 lxor Array.unsafe_get t (xl lsr 24);
+    b0 := !b0 lxor Array.unsafe_get t (xh land 0xff);
+    b1 := !b1 lxor Array.unsafe_get t ((xh lsr 8) land 0xff);
+    b2 := !b2 lxor Array.unsafe_get t ((xh lsr 16) land 0xff);
+    b3 := !b3 lxor Array.unsafe_get t (xh lsr 24)
+  done
+
+let encode_lanes l ~dsts ~src ~stride ~pos ~len =
+  let g = Array.length dsts in
+  if g < 1 || g > l.group then
+    invalid_arg "Gf256.encode_lanes: need 1 to lanes-group destinations";
+  if pos < 0 || len < 0 then
+    invalid_arg "Gf256.encode_lanes: negative pos or len";
+  Array.iter
+    (fun d ->
+      if Bytes.length d < pos + len then
+        invalid_arg "Gf256.encode_lanes: dst shorter than pos + len")
+    dsts;
+  let k = l.width in
+  if k > 0 then begin
+    if stride < 0 then invalid_arg "Gf256.encode_lanes: negative stride";
+    if Bytes.length src < ((k - 1) * stride) + pos + len then
+      invalid_arg "Gf256.encode_lanes: src too short"
+  end;
+  let tabs = l.tabs in
+  let units = len / 8 in
+  (match g with
+  | 4 ->
+      let dst1 = dsts.(0) and dst2 = dsts.(1) in
+      let dst3 = dsts.(2) and dst4 = dsts.(3) in
+      for u = 0 to units - 1 do
+        let off = pos + (8 * u) in
+        let a0 = ref 0 and a1 = ref 0 and a2 = ref 0 and a3 = ref 0 in
+        let b0 = ref 0 and b1 = ref 0 and b2 = ref 0 and b3 = ref 0 in
+        swar_fold tabs k src stride off a0 a1 a2 a3 b0 b1 b2 b3;
+        let a0 = !a0 and a1 = !a1 and a2 = !a2 and a3 = !a3 in
+        let b0 = !b0 and b1 = !b1 and b2 = !b2 and b3 = !b3 in
+        let store d sh =
+          unsafe_set16 d off
+            (((a0 lsr sh) land 0xff) lor (((a1 lsr sh) land 0xff) lsl 8));
+          unsafe_set16 d (off + 2)
+            (((a2 lsr sh) land 0xff) lor (((a3 lsr sh) land 0xff) lsl 8));
+          unsafe_set16 d (off + 4)
+            (((b0 lsr sh) land 0xff) lor (((b1 lsr sh) land 0xff) lsl 8));
+          unsafe_set16 d (off + 6)
+            (((b2 lsr sh) land 0xff) lor (((b3 lsr sh) land 0xff) lsl 8))
+        in
+        store dst1 0; store dst2 8; store dst3 16; store dst4 24
+      done
+  | 2 ->
+      let dst1 = dsts.(0) and dst2 = dsts.(1) in
+      for u = 0 to units - 1 do
+        let off = pos + (8 * u) in
+        let a0 = ref 0 and a1 = ref 0 and a2 = ref 0 and a3 = ref 0 in
+        let b0 = ref 0 and b1 = ref 0 and b2 = ref 0 and b3 = ref 0 in
+        swar_fold tabs k src stride off a0 a1 a2 a3 b0 b1 b2 b3;
+        let a0 = !a0 and a1 = !a1 and a2 = !a2 and a3 = !a3 in
+        let b0 = !b0 and b1 = !b1 and b2 = !b2 and b3 = !b3 in
+        let store d sh =
+          unsafe_set16 d off
+            (((a0 lsr sh) land 0xff) lor (((a1 lsr sh) land 0xff) lsl 8));
+          unsafe_set16 d (off + 2)
+            (((a2 lsr sh) land 0xff) lor (((a3 lsr sh) land 0xff) lsl 8));
+          unsafe_set16 d (off + 4)
+            (((b0 lsr sh) land 0xff) lor (((b1 lsr sh) land 0xff) lsl 8));
+          unsafe_set16 d (off + 6)
+            (((b2 lsr sh) land 0xff) lor (((b3 lsr sh) land 0xff) lsl 8))
+        in
+        store dst1 0; store dst2 8
+      done
+  | _ ->
+      for u = 0 to units - 1 do
+        let off = pos + (8 * u) in
+        let a0 = ref 0 and a1 = ref 0 and a2 = ref 0 and a3 = ref 0 in
+        let b0 = ref 0 and b1 = ref 0 and b2 = ref 0 and b3 = ref 0 in
+        swar_fold tabs k src stride off a0 a1 a2 a3 b0 b1 b2 b3;
+        let a0 = !a0 and a1 = !a1 and a2 = !a2 and a3 = !a3 in
+        let b0 = !b0 and b1 = !b1 and b2 = !b2 and b3 = !b3 in
+        for r = 0 to g - 1 do
+          let sh = 8 * r in
+          let d = Array.unsafe_get dsts r in
+          unsafe_set16 d off
+            (((a0 lsr sh) land 0xff) lor (((a1 lsr sh) land 0xff) lsl 8));
+          unsafe_set16 d (off + 2)
+            (((a2 lsr sh) land 0xff) lor (((a3 lsr sh) land 0xff) lsl 8));
+          unsafe_set16 d (off + 4)
+            (((b0 lsr sh) land 0xff) lor (((b1 lsr sh) land 0xff) lsl 8));
+          unsafe_set16 d (off + 6)
+            (((b2 lsr sh) land 0xff) lor (((b3 lsr sh) land 0xff) lsl 8))
+        done
+      done);
+  (* Scalar tail for the 0..7 bytes past the last full 8-byte unit. *)
+  for i = pos + (8 * units) to pos + len - 1 do
     let acc = ref 0 in
     for j = 0 to k - 1 do
-      let x = unsafe_get16 src ((j * stride) + du) in
-      acc := !acc lxor unsafe_get16 (Array.unsafe_get tabs j) (2 * x)
-    done;
-    unsafe_set16 dst du !acc
-  done;
-  if n land 1 = 1 then begin
-    let i = n - 1 in
-    let acc = ref 0 in
-    for j = 0 to k - 1 do
       let x = Char.code (Bytes.unsafe_get src ((j * stride) + i)) in
-      acc := !acc lxor Char.code (Bytes.unsafe_get (Array.unsafe_get tabs j) (2 * x))
+      acc := !acc lxor Array.unsafe_get (Array.unsafe_get tabs j) x
     done;
-    Bytes.unsafe_set dst i (Char.unsafe_chr !acc)
-  end
-
-let fused2 ~dst1 ~dst2 ~t1 ~t2 ~src ~stride =
-  let k = Array.length t1 in
-  let n = Bytes.length dst1 in
-  let units = n / 2 in
-  for u = 0 to units - 1 do
-    let du = 2 * u in
-    let a1 = ref 0 and a2 = ref 0 in
-    for j = 0 to k - 1 do
-      let x = unsafe_get16 src ((j * stride) + du) in
-      a1 := !a1 lxor unsafe_get16 (Array.unsafe_get t1 j) (2 * x);
-      a2 := !a2 lxor unsafe_get16 (Array.unsafe_get t2 j) (2 * x)
-    done;
-    unsafe_set16 dst1 du !a1;
-    unsafe_set16 dst2 du !a2
-  done;
-  if n land 1 = 1 then begin
-    let i = n - 1 in
-    let a1 = ref 0 and a2 = ref 0 in
-    for j = 0 to k - 1 do
-      let x = Char.code (Bytes.unsafe_get src ((j * stride) + i)) in
-      a1 := !a1 lxor Char.code (Bytes.unsafe_get (Array.unsafe_get t1 j) (2 * x));
-      a2 := !a2 lxor Char.code (Bytes.unsafe_get (Array.unsafe_get t2 j) (2 * x))
-    done;
-    Bytes.unsafe_set dst1 i (Char.unsafe_chr !a1);
-    Bytes.unsafe_set dst2 i (Char.unsafe_chr !a2)
-  end
-
-let fused4 ~dst1 ~dst2 ~dst3 ~dst4 ~t1 ~t2 ~t3 ~t4 ~src ~stride =
-  let k = Array.length t1 in
-  let n = Bytes.length dst1 in
-  let units = n / 2 in
-  for u = 0 to units - 1 do
-    let du = 2 * u in
-    let a1 = ref 0 and a2 = ref 0 and a3 = ref 0 and a4 = ref 0 in
-    for j = 0 to k - 1 do
-      let x = unsafe_get16 src ((j * stride) + du) in
-      a1 := !a1 lxor unsafe_get16 (Array.unsafe_get t1 j) (2 * x);
-      a2 := !a2 lxor unsafe_get16 (Array.unsafe_get t2 j) (2 * x);
-      a3 := !a3 lxor unsafe_get16 (Array.unsafe_get t3 j) (2 * x);
-      a4 := !a4 lxor unsafe_get16 (Array.unsafe_get t4 j) (2 * x)
-    done;
-    unsafe_set16 dst1 du !a1;
-    unsafe_set16 dst2 du !a2;
-    unsafe_set16 dst3 du !a3;
-    unsafe_set16 dst4 du !a4
-  done;
-  if n land 1 = 1 then begin
-    let i = n - 1 in
-    let a1 = ref 0 and a2 = ref 0 and a3 = ref 0 and a4 = ref 0 in
-    for j = 0 to k - 1 do
-      let x = Char.code (Bytes.unsafe_get src ((j * stride) + i)) in
-      a1 := !a1 lxor Char.code (Bytes.unsafe_get (Array.unsafe_get t1 j) (2 * x));
-      a2 := !a2 lxor Char.code (Bytes.unsafe_get (Array.unsafe_get t2 j) (2 * x));
-      a3 := !a3 lxor Char.code (Bytes.unsafe_get (Array.unsafe_get t3 j) (2 * x));
-      a4 := !a4 lxor Char.code (Bytes.unsafe_get (Array.unsafe_get t4 j) (2 * x))
-    done;
-    Bytes.unsafe_set dst1 i (Char.unsafe_chr !a1);
-    Bytes.unsafe_set dst2 i (Char.unsafe_chr !a2);
-    Bytes.unsafe_set dst3 i (Char.unsafe_chr !a3);
-    Bytes.unsafe_set dst4 i (Char.unsafe_chr !a4)
-  end
+    let acc = !acc in
+    for r = 0 to g - 1 do
+      Bytes.unsafe_set dsts.(r) i (Char.unsafe_chr ((acc lsr (8 * r)) land 0xff))
+    done
+  done
 
 (* Observability handles: one atomic bump per bulk entry point, never per
    byte, and only when the metrics flag is up — the kernels stay clean. *)
@@ -350,23 +442,19 @@ let encode_rows ~dsts ~rows ~src ~stride =
       rows;
     if Bytes.length src < k * stride then
       invalid_arg "Gf256.encode_rows: src shorter than row width * stride";
-    let tabs = Array.map tabs_of rows in
-    (* Groups of four, then two, then one: every group is a single pass
-       over the source units, so each loaded unit feeds up to four output
-       rows instead of being re-read once per row. *)
+    (* Groups of up to four rows, each a single SWAR pass over the source
+       units: every loaded unit feeds the whole group through the packed
+       lane tables instead of being re-read once per row. The lane tables
+       are rebuilt per call (256 * k ints per group — noise next to any
+       bulk encode); callers that encode the same rows repeatedly should
+       build {!lanes} once and use {!encode_lanes} directly. *)
     let i = ref 0 in
-    while g - !i >= 4 do
-      fused4 ~dst1:dsts.(!i) ~dst2:dsts.(!i + 1) ~dst3:dsts.(!i + 2)
-        ~dst4:dsts.(!i + 3) ~t1:tabs.(!i) ~t2:tabs.(!i + 1) ~t3:tabs.(!i + 2)
-        ~t4:tabs.(!i + 3) ~src ~stride;
-      i := !i + 4
-    done;
-    if g - !i >= 2 then begin
-      fused2 ~dst1:dsts.(!i) ~dst2:dsts.(!i + 1) ~t1:tabs.(!i)
-        ~t2:tabs.(!i + 1) ~src ~stride;
-      i := !i + 2
-    end;
-    if g - !i = 1 then fused1 ~dst:dsts.(!i) ~tabs:tabs.(!i) ~src ~stride
+    while !i < g do
+      let w = min 4 (g - !i) in
+      let l = lanes (Array.sub rows !i w) in
+      encode_lanes l ~dsts:(Array.sub dsts !i w) ~src ~stride ~pos:0 ~len:n;
+      i := !i + w
+    done
   end
 
 let pow x k =

@@ -76,21 +76,65 @@ val encode_row_strided :
 val encode_rows :
   dsts:bytes array -> rows:t array array -> src:bytes -> stride:int -> unit
 (** [encode_rows ~dsts ~rows ~src ~stride] applies several dispersal-matrix
-    rows in grouped passes: [dsts.(g).(i) <- sum_j rows.(g).(j) * src.(j *
-    stride + i)]. Rows are processed four (then two, then one) at a time,
-    so each source unit loaded feeds up to four output rows — this is the
-    fastest path for dispersal, where every piece reads the same source
-    blocks. All destinations must share one length [<= stride], all rows
-    one width [k] with [Bytes.length src >= k * stride]; raises
-    [Invalid_argument] otherwise. *)
+    rows in grouped SWAR passes: [dsts.(g).(i) <- sum_j rows.(g).(j) *
+    src.(j * stride + i)]. Rows are processed up to four at a time through
+    packed {!lanes} tables (built per call), so each source unit loaded
+    feeds up to four output rows — encode the same rows repeatedly via
+    {!lanes} + {!encode_lanes} to amortize the table build too. All
+    destinations must share one length [<= stride], all rows one width [k]
+    with [Bytes.length src >= k * stride]; raises [Invalid_argument]
+    otherwise. *)
+
+type lanes
+(** Packed per-coefficient lane tables for a group of 1 to 4 matrix rows:
+    table entry [b] of coefficient column [j] holds the four products
+    [rows.(r).(j) * b] in byte lanes [r] of one native int, so the SWAR
+    kernel accumulates every row of the group with a single lookup per
+    source byte (eight source bytes per 64-bit load). Immutable once
+    built — safe to share across domains. *)
+
+val lanes : t array array -> lanes
+(** [lanes rows] builds the packed tables for 1 to 4 rows of equal width
+    (256 ints per coefficient column). Raises [Invalid_argument] on 0 or
+    more than 4 rows, or unequal widths. Zero coefficients are packed
+    like any other (their lane is all-zero). *)
+
+val lanes_group : lanes -> int
+(** Number of rows the tables pack (1 to 4). *)
+
+val lanes_width : lanes -> int
+(** Coefficients per row. *)
+
+val encode_lanes :
+  lanes ->
+  dsts:bytes array -> src:bytes -> stride:int -> pos:int -> len:int -> unit
+(** [encode_lanes l ~dsts ~src ~stride ~pos ~len] runs the SWAR kernel
+    over one column block: [dsts.(r).(pos + i) <- sum_j rows.(r).(j) *
+    src.(j * stride + pos + i)] for [0 <= i < len], where [rows] are the
+    rows [l] was built from. [dsts] may name fewer destinations than
+    [lanes_group l]; the surplus high lanes are simply not stored, which
+    lets one table set built for a full group serve calls that need only
+    a prefix of its rows. The [pos]/[len] window is how callers block the
+    columns into cache-sized parallel tasks: distinct blocks write
+    disjoint byte ranges, so tasks never race. No alignment is required
+    of [pos], [len] or [stride]. Raises [Invalid_argument] when [dsts] is
+    empty or larger than the group, any destination is shorter than
+    [pos + len], or [src] is shorter than [(width-1) * stride + pos +
+    len]. *)
 
 val ensure_tables : t array -> unit
 (** Pre-build the lazily-constructed 128 KiB wide multiplication tables
     for the given coefficients (each maps a 16-bit source unit to its
-    coefficient-scaled unit). The fused kernels build tables on demand;
-    call this from the submitting domain before encoding the same
-    coefficients from several domains in parallel, so workers only ever
-    read fully-published tables. *)
+    coefficient-scaled unit), used by the single-row kernels
+    {!encode_row} and {!encode_row_strided}. Purely a warm-up: table
+    publication is race-free one-shot (first caller builds, racing
+    callers wait), so parallel encoders are correct without it. *)
+
+val wide_table_builds : unit -> int
+(** Cumulative number of 128 KiB wide tables actually built (across all
+    coefficients, process-wide). Monotone. One-shot publication means a
+    coefficient contributes exactly one build no matter how many domains
+    race on its first use — take a delta around a race to test that. *)
 
 val log : t -> int
 (** Discrete log base 3; raises [Invalid_argument] on [0]. *)

@@ -102,6 +102,18 @@ let invert m =
     Some { rows = n; cols = n; data = inv }
   with Singular -> None
 
+(* V * (top cols x cols of V)^-1: right-multiplying by an invertible
+   matrix preserves "any [cols] rows form an invertible square" (a row
+   subset S of the product is [S_V * T^-1], a product of invertibles),
+   and turns the top square into the identity — so the systematic prefix
+   of a dispersal encodes by memcpy. *)
+let systematic ~rows ~cols =
+  let v = vandermonde ~rows ~cols in
+  let top = select_rows v (Array.init cols (fun i -> i)) in
+  match invert top with
+  | None -> assert false (* the top square of a Vandermonde is invertible *)
+  | Some tinv -> mul v tinv
+
 let equal a b = a.rows = b.rows && a.cols = b.cols && a.data = b.data
 
 let pp ppf m =

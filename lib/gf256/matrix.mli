@@ -27,6 +27,14 @@ val vandermonde : rows:int -> cols:int -> t
     square Vandermonde system — the property Rabin's IDA requires of its
     dispersal matrix. Raises [Invalid_argument] when [rows > 255]. *)
 
+val systematic : rows:int -> cols:int -> t
+(** [systematic ~rows ~cols] is {!vandermonde} right-multiplied by the
+    inverse of its top [cols x cols] square: any [cols] rows still form an
+    invertible system (each row subset is a product of invertibles), but
+    rows [0 .. cols-1] are now the identity — a dispersal using this
+    matrix emits the source blocks verbatim as its first [cols] pieces.
+    Raises [Invalid_argument] when [rows > 255]. *)
+
 val select_rows : t -> int array -> t
 (** [select_rows m idx] is the matrix made of rows [idx.(0)], [idx.(1)], …
     of [m], in that order. *)

@@ -3,53 +3,97 @@ module Matrix = Pindisk_gf256.Matrix
 module Pool = Pindisk_util.Pool
 module Obs = Pindisk_obs
 
-(* Observability handles, registered once at module init. [obs_groups] is
+(* Observability handles, registered once at module init. [obs_tasks] is
    bumped inside the task closures, i.e. from whichever domain runs the
-   group — exactly the cross-domain pattern the sharded counters exist
+   task — exactly the cross-domain pattern the sharded counters exist
    for (and what the parallel-correctness test exercises). *)
 let obs_disperse_calls = Obs.Registry.counter "ida.disperse.calls"
 let obs_disperse_bytes = Obs.Registry.counter "ida.disperse.bytes"
 let obs_reconstruct_calls = Obs.Registry.counter "ida.reconstruct.calls"
 let obs_reconstruct_bytes = Obs.Registry.counter "ida.reconstruct.bytes"
-let obs_encode_groups = Obs.Registry.counter "ida.encode.groups"
+let obs_tasks = Obs.Registry.counter "ida.encode.groups"
 let obs_cache_hits = Obs.Registry.counter "ida.cache.hits"
 let obs_cache_misses = Obs.Registry.counter "ida.cache.misses"
 
 type piece = { index : int; data : bytes }
 
-type inverse_entry = { inv : Matrix.t; inv_rows : int array array; mutable last_use : int }
+(* One cached reconstruction inverse. Entries are immutable: publication
+   into the lock-free cache below is a CAS of the whole entry, so a
+   reader either sees nothing or sees the complete inverse with its
+   prebuilt lane tables — no seqlock or per-field synchronization is
+   needed. [sys] marks the all-systematic row subset 0..m-1, whose
+   inverse is the identity: reconstruction is then pure blits. *)
+type inverse_entry = {
+  key : int array; (* sorted piece indices *)
+  inv : Matrix.t;
+  inv_rows : int array array;
+  inv_lanes : Gf256.lanes array; (* groups of up to 4 rows of [inv] *)
+  sys : bool;
+  stamp : int; (* creation order, for oldest-first replacement *)
+}
+
+(* The inverse cache: a fixed-size open-addressed table of atomic slots.
+   Lookups scan a bounded probe window; inserts claim an empty slot with
+   CAS (guarded by [live] so the entry count never exceeds [cap]) or
+   replace the oldest entry in the window. Everything is wait-free
+   except the bounded reservation loop, and a lost race costs at most a
+   redundant inverse computation — never a torn read. *)
+type cache = {
+  cap : int;
+  live : int Atomic.t; (* entries present, kept <= cap *)
+  slots : inverse_entry option Atomic.t array; (* power-of-two size *)
+}
 
 type t = {
   m : int;
-  dispersal : Matrix.t; (* 255 x m Vandermonde; row i produces piece i *)
+  dispersal : Matrix.t; (* 255 x m systematic; row i produces piece i *)
   rows : int array array; (* rows.(i) = coefficients of dispersal row i *)
-  inverses : (int list, inverse_entry) Hashtbl.t; (* keyed by sorted row indices *)
-  mutable cache_cap : int;
-  mutable clock : int; (* logical time for LRU eviction *)
-  mutable cache_hits : int;
-  mutable cache_misses : int;
+  coded_lanes : Gf256.lanes option Atomic.t array;
+  (* Lane tables for coded row group c (dispersal rows m+4c .. m+4c+3),
+     built inside the first fan-out task that needs them and published
+     once with CAS; independent of the dispersal width n, so every
+     disperse call shares them. *)
+  cache : cache Atomic.t;
+  stamp : int Atomic.t;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
 }
 
 (* Cumulative count of row-encode passes (one per piece produced or source
-   block rebuilt); lets tests assert that no encode work is wasted. *)
+   block rebuilt, whether by kernel or by systematic blit); lets tests
+   assert that no encode work is wasted. *)
 let passes = Atomic.make 0
 let encode_passes () = Atomic.get passes
 
 let row_coeffs matrix i =
   Array.init (Matrix.cols matrix) (fun j -> Matrix.get matrix i j)
 
+let probe_window = 8
+
+let make_cache cap =
+  let size =
+    let rec pow2 s = if s >= cap * 2 then s else pow2 (2 * s) in
+    pow2 8
+  in
+  {
+    cap;
+    live = Atomic.make 0;
+    slots = Array.init size (fun _ -> Atomic.make None);
+  }
+
 let create ~m =
   if m < 1 || m > 255 then invalid_arg "Ida.create: m must be in [1, 255]";
-  let dispersal = Matrix.vandermonde ~rows:255 ~cols:m in
+  let dispersal = Matrix.systematic ~rows:255 ~cols:m in
   {
     m;
     dispersal;
     rows = Array.init 255 (row_coeffs dispersal);
-    inverses = Hashtbl.create 16;
-    cache_cap = 256;
-    clock = 0;
-    cache_hits = 0;
-    cache_misses = 0;
+    coded_lanes =
+      Array.init (((255 - m) + 3) / 4) (fun _ -> Atomic.make None);
+    cache = Atomic.make (make_cache 256);
+    stamp = Atomic.make 0;
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
   }
 
 let m t = t.m
@@ -62,8 +106,14 @@ let piece_size t ~file_size =
    byte), fan-out overhead beats the parallel win; stay sequential. *)
 let parallel_cutoff = 1 lsl 16
 
-(* Rows encoded per fused pass; matches the widest Gf256 grouped kernel. *)
+(* Rows encoded per fused pass; matches the widest Gf256 lane group. *)
 let row_group = 4
+
+(* Output columns per task. Small enough that a row group's lane tables
+   (256 * m ints) plus the block's source and destination stripes sit in
+   cache, and that tasks per call (groups * blocks) comfortably exceed
+   any pool width; large enough that task-claim overhead stays noise. *)
+let col_block = 16384
 
 let run_tasks pool ~work ~n f =
   match pool with
@@ -73,6 +123,17 @@ let run_tasks pool ~work ~n f =
       for i = 0 to n - 1 do
         f i
       done
+
+let coded_lanes_for t c =
+  let slot = t.coded_lanes.(c) in
+  match Atomic.get slot with
+  | Some l -> l
+  | None ->
+      let lo = t.m + (row_group * c) in
+      let w = min row_group (255 - lo) in
+      let l = Gf256.lanes (Array.sub t.rows lo w) in
+      if Atomic.compare_and_set slot None (Some l) then l
+      else Option.get (Atomic.get slot)
 
 let disperse ?pool t ~n file =
   if n < t.m || n > 255 then invalid_arg "Ida.disperse: need m <= n <= 255";
@@ -89,81 +150,183 @@ let disperse ?pool t ~n file =
       b
     end
   in
-  let pieces =
-    Array.init n (fun i -> { index = i; data = Bytes.create s })
-  in
-  for i = 0 to n - 1 do
-    Gf256.ensure_tables t.rows.(i)
-  done;
+  let pieces = Array.init n (fun i -> { index = i; data = Bytes.create s }) in
   let obs = Obs.Control.enabled () in
   if obs then begin
     Obs.Registry.incr obs_disperse_calls;
     Obs.Registry.add obs_disperse_bytes (n * s)
   end;
-  (* Each task encodes a group of [row_group] pieces in one fused pass
-     over the source units (see [Gf256.encode_rows]). *)
-  let groups = (n + row_group - 1) / row_group in
-  run_tasks pool ~work:(n * s * t.m) ~n:groups (fun g ->
-      if obs then Obs.Registry.incr obs_encode_groups;
-      let lo = g * row_group in
-      let width = min row_group (n - lo) in
-      Gf256.encode_rows
-        ~dsts:(Array.init width (fun j -> pieces.(lo + j).data))
-        ~rows:(Array.init width (fun j -> t.rows.(lo + j)))
-        ~src ~stride:s);
+  (* 2-D decomposition: (row group) x (column block). The systematic
+     prefix (rows < m) is pure blits; coded groups run the SWAR lane
+     kernel over their column block, building the group's lane tables
+     inside the first task that touches them. Task count is
+     groups * blocks — far more than any pool width, so every domain
+     stays busy — and distinct tasks write disjoint byte ranges. *)
+  let sys = min n t.m in
+  let sys_groups = (sys + row_group - 1) / row_group in
+  let coded_groups = (n - sys + row_group - 1) / row_group in
+  let blocks = (s + col_block - 1) / col_block in
+  let tasks = (sys_groups + coded_groups) * blocks in
+  run_tasks pool ~work:(n * s * t.m) ~n:tasks (fun ti ->
+      if obs then Obs.Registry.incr obs_tasks;
+      let g = ti / blocks and b = ti mod blocks in
+      let pos = b * col_block in
+      let blen = min col_block (s - pos) in
+      if g < sys_groups then begin
+        let lo = row_group * g in
+        let w = min row_group (sys - lo) in
+        for r = lo to lo + w - 1 do
+          Bytes.blit src ((r * s) + pos) pieces.(r).data pos blen
+        done
+      end
+      else begin
+        let c = g - sys_groups in
+        let lanes = coded_lanes_for t c in
+        let lo = t.m + (row_group * c) in
+        let w = min row_group (n - lo) in
+        Gf256.encode_lanes lanes
+          ~dsts:(Array.init w (fun j -> pieces.(lo + j).data))
+          ~src ~stride:s ~pos ~len:blen
+      end);
   ignore (Atomic.fetch_and_add passes n);
   pieces
 
-let evict_lru t =
-  let victim = ref None in
-  Hashtbl.iter
-    (fun key e ->
-      match !victim with
-      | Some (_, oldest) when oldest <= e.last_use -> ()
-      | _ -> victim := Some (key, e.last_use))
-    t.inverses;
-  match !victim with
-  | Some (key, _) -> Hashtbl.remove t.inverses key
-  | None -> ()
+let hash_key key =
+  Array.fold_left
+    (fun h i -> (h lxor i) * 0x01000193 land max_int)
+    0x811c9dc5 key
+
+let cache_find cache key =
+  let size = Array.length cache.slots in
+  let h = hash_key key land (size - 1) in
+  let rec go i =
+    if i >= probe_window then None
+    else
+      match Atomic.get (Array.unsafe_get cache.slots ((h + i) land (size - 1))) with
+      | Some e when e.key = key -> Some e
+      | _ -> go (i + 1)
+  in
+  go 0
+
+(* Reserve one unit of capacity; [false] means the cache is full. *)
+let rec cache_reserve cache =
+  let l = Atomic.get cache.live in
+  if l >= cache.cap then false
+  else if Atomic.compare_and_set cache.live l (l + 1) then true
+  else cache_reserve cache
+
+let cache_insert cache e =
+  let size = Array.length cache.slots in
+  let h = hash_key e.key land (size - 1) in
+  let slot i = Array.unsafe_get cache.slots ((h + i) land (size - 1)) in
+  let claimed =
+    cache_reserve cache
+    && begin
+         let rec claim i =
+           if i >= probe_window then begin
+             (* No empty slot in the window; hand the reservation back
+                and fall through to replacement. *)
+             Atomic.decr cache.live;
+             false
+           end
+           else
+             let s = slot i in
+             match Atomic.get s with
+             | None when Atomic.compare_and_set s None (Some e) -> true
+             | _ -> claim (i + 1)
+         in
+         claim 0
+       end
+  in
+  if not claimed then begin
+    (* Replace the oldest entry in the window (count unchanged). If the
+       window is momentarily all-empty — every slot claimed away by
+       racing inserts elsewhere — skip caching; the entry still serves
+       its caller. *)
+    let oldest = ref None in
+    for i = 0 to probe_window - 1 do
+      match Atomic.get (slot i) with
+      | Some old -> (
+          match !oldest with
+          | Some (_, st) when st <= old.stamp -> ()
+          | _ -> oldest := Some (slot i, old.stamp))
+      | None -> ()
+    done;
+    match !oldest with
+    | Some (s, _) -> Atomic.set s (Some e)
+    | None -> ()
+  end
+
+let build_entry t indices =
+  let sub = Matrix.select_rows t.dispersal indices in
+  match Matrix.invert sub with
+  | None ->
+      (* Unreachable: any m distinct systematic-matrix rows are
+         independent. *)
+      assert false
+  | Some inv ->
+      let inv_rows = Array.init t.m (row_coeffs inv) in
+      let sys = indices.(t.m - 1) < t.m in
+      let inv_lanes =
+        if sys then [||]
+        else
+          Array.init
+            ((t.m + row_group - 1) / row_group)
+            (fun g ->
+              let lo = row_group * g in
+              let w = min row_group (t.m - lo) in
+              Gf256.lanes (Array.sub inv_rows lo w))
+      in
+      {
+        key = Array.copy indices;
+        inv;
+        inv_rows;
+        inv_lanes;
+        sys;
+        stamp = Atomic.fetch_and_add t.stamp 1;
+      }
 
 let inverse_for t indices =
-  let key = Array.to_list indices in
-  t.clock <- t.clock + 1;
-  match Hashtbl.find_opt t.inverses key with
+  let cache = Atomic.get t.cache in
+  match cache_find cache indices with
   | Some e ->
-      t.cache_hits <- t.cache_hits + 1;
+      Atomic.incr t.hits;
       if Obs.Control.enabled () then Obs.Registry.incr obs_cache_hits;
-      e.last_use <- t.clock;
       e
-  | None -> (
-      t.cache_misses <- t.cache_misses + 1;
+  | None ->
+      (* Concurrent misses on one subset each compute the inverse; the
+         cache keeps whichever publishes, and the duplicates only serve
+         their own caller. Correctness never depends on who wins. *)
+      Atomic.incr t.misses;
       if Obs.Control.enabled () then Obs.Registry.incr obs_cache_misses;
-      let sub = Matrix.select_rows t.dispersal indices in
-      match Matrix.invert sub with
-      | None ->
-          (* Unreachable: any m distinct Vandermonde rows are independent. *)
-          assert false
-      | Some inv ->
-          if Hashtbl.length t.inverses >= t.cache_cap then evict_lru t;
-          let e =
-            {
-              inv;
-              inv_rows = Array.init t.m (row_coeffs inv);
-              last_use = t.clock;
-            }
-          in
-          Hashtbl.add t.inverses key e;
-          e)
+      let e = build_entry t indices in
+      cache_insert cache e;
+      e
 
-let cached_inverses t = Hashtbl.length t.inverses
-let cache_stats t = (t.cache_hits, t.cache_misses)
+let cached_inverses t =
+  let cache = Atomic.get t.cache in
+  Array.fold_left
+    (fun acc s -> match Atomic.get s with Some _ -> acc + 1 | None -> acc)
+    0 cache.slots
+
+let cache_stats t = (Atomic.get t.hits, Atomic.get t.misses)
 
 let set_cache_cap t cap =
   if cap < 1 then invalid_arg "Ida.set_cache_cap: cap must be >= 1";
-  t.cache_cap <- cap;
-  while Hashtbl.length t.inverses > cap do
-    evict_lru t
-  done
+  let old = Atomic.get t.cache in
+  if cap <> old.cap then begin
+    (* Swap in a fresh table carrying over the youngest entries. Inserts
+       racing with the swap may land in the old table and be dropped —
+       benign for a cache — and readers always see one complete table. *)
+    let fresh = make_cache cap in
+    let entries =
+      Array.to_list old.slots
+      |> List.filter_map Atomic.get
+      |> List.sort (fun (a : inverse_entry) b -> compare b.stamp a.stamp)
+    in
+    List.iteri (fun i e -> if i < cap then cache_insert fresh e) entries;
+    Atomic.set t.cache fresh
+  end
 
 let reconstruct ?pool t ~length pieces =
   if length < 0 then invalid_arg "Ida.reconstruct: negative length";
@@ -196,35 +359,48 @@ let reconstruct ?pool t ~length pieces =
   if length > s * t.m then
     invalid_arg "Ida.reconstruct: length exceeds encoded data";
   let entry = inverse_for t (Array.map (fun p -> p.index) chosen) in
-  (* Source block j = sum over received pieces k of inv[j][k] * piece_k.
-     Pieces are gathered into one contiguous buffer (a single memcpy-speed
-     pass) so the grouped strided kernel rebuilds up to four blocks per
-     pass over the piece units; a final blit trims the padding. *)
-  let gathered = Bytes.create (t.m * s) in
-  Array.iteri (fun k p -> Bytes.blit p.data 0 gathered (k * s) s) chosen;
-  let blocks = Array.init t.m (fun _ -> Bytes.create s) in
-  Array.iter Gf256.ensure_tables entry.inv_rows;
   let obs = Obs.Control.enabled () in
   if obs then begin
     Obs.Registry.incr obs_reconstruct_calls;
     Obs.Registry.add obs_reconstruct_bytes (t.m * s)
   end;
-  let groups = (t.m + row_group - 1) / row_group in
-  run_tasks pool ~work:(t.m * s * t.m) ~n:groups (fun g ->
-      if obs then Obs.Registry.incr obs_encode_groups;
-      let lo = g * row_group in
-      let width = min row_group (t.m - lo) in
-      Gf256.encode_rows
-        ~dsts:(Array.sub blocks lo width)
-        ~rows:(Array.init width (fun j -> entry.inv_rows.(lo + j)))
-        ~src:gathered ~stride:s);
-  ignore (Atomic.fetch_and_add passes t.m);
   let out = Bytes.create length in
-  for j = 0 to t.m - 1 do
-    let off = j * s in
-    let len = min s (length - off) in
-    if len > 0 then Bytes.blit blocks.(j) 0 out off len
-  done;
+  if entry.sys then
+    (* All m systematic pieces arrived: they are the source blocks
+       verbatim, so reconstruction is pure memcpy from the pieces. *)
+    for j = 0 to t.m - 1 do
+      let off = j * s in
+      let blen = min s (length - off) in
+      if blen > 0 then Bytes.blit chosen.(j).data 0 out off blen
+    done
+  else begin
+    (* Source block j = sum over received pieces k of inv[j][k] * piece_k.
+       Pieces are gathered into one contiguous buffer (a single
+       memcpy-speed pass) so the lane kernel rebuilds up to four blocks
+       per pass over the piece units, 2-D decomposed exactly like
+       disperse; a final blit trims the padding. *)
+    let gathered = Bytes.create (t.m * s) in
+    Array.iteri (fun k p -> Bytes.blit p.data 0 gathered (k * s) s) chosen;
+    let blocks_out = Array.init t.m (fun _ -> Bytes.create s) in
+    let groups = Array.length entry.inv_lanes in
+    let blocks = (s + col_block - 1) / col_block in
+    run_tasks pool ~work:(t.m * s * t.m) ~n:(groups * blocks) (fun ti ->
+        if obs then Obs.Registry.incr obs_tasks;
+        let g = ti / blocks and b = ti mod blocks in
+        let pos = b * col_block in
+        let blen = min col_block (s - pos) in
+        let lo = row_group * g in
+        let w = min row_group (t.m - lo) in
+        Gf256.encode_lanes entry.inv_lanes.(g)
+          ~dsts:(Array.sub blocks_out lo w)
+          ~src:gathered ~stride:s ~pos ~len:blen);
+    for j = 0 to t.m - 1 do
+      let off = j * s in
+      let blen = min s (length - off) in
+      if blen > 0 then Bytes.blit blocks_out.(j) 0 out off blen
+    done
+  end;
+  ignore (Atomic.fetch_and_add passes t.m);
   out
 
 let overhead ~m ~n =

@@ -19,13 +19,19 @@ type piece = { index : int; data : bytes }
     dispersal has the same payload size [ceil (file_size / m)]. *)
 
 type t
-(** A dispersal context for fixed [m]: caches the dispersal matrix, its
-    rows as coefficient arrays for the fused encode kernel, and the
-    reconstruction inverses for row subsets already seen (the paper notes
-    the inverse transformations "could be precomputed"). The inverse cache
-    is size-capped with LRU eviction, so adversarial loss patterns (up to
-    [C(255, m)] distinct row subsets) cannot grow it without bound.
-    Contexts are cheap; reuse one per file class for speed. *)
+(** A dispersal context for fixed [m]: caches the systematic dispersal
+    matrix (rows [0 .. m-1] are the identity, so the first [m] pieces are
+    source blocks verbatim), its rows' packed lane tables for the SWAR
+    encode kernel, and the reconstruction inverses for row subsets
+    already seen (the paper notes the inverse transformations "could be
+    precomputed"). The inverse cache is a fixed-size lock-free hash table
+    of atomic slots holding immutable entries: lookups and inserts are
+    safe from any number of domains concurrently, the entry count never
+    exceeds the cap (so adversarial loss patterns — up to [C(255, m)]
+    distinct row subsets — cannot grow it without bound), and under
+    pressure the oldest entry in a colliding probe window is replaced.
+    Contexts are cheap; reuse one per file class for speed, including
+    across domains. *)
 
 val create : m:int -> t
 (** [create ~m] prepares dispersal with [m] source blocks,
@@ -34,8 +40,10 @@ val create : m:int -> t
 
 val set_cache_cap : t -> int -> unit
 (** [set_cache_cap t cap] bounds the reconstruction-inverse cache to [cap]
-    entries ([>= 1]), evicting least-recently-used entries immediately if
-    it is currently larger. *)
+    entries ([>= 1]), swapping in a fresh table that carries over the
+    youngest entries. Administrative: safe to call while other domains
+    reconstruct, but entries they insert during the swap may be
+    dropped. *)
 
 val m : t -> int
 
@@ -43,10 +51,13 @@ val disperse : ?pool:Pindisk_util.Pool.t -> t -> n:int -> bytes -> piece array
 (** [disperse t ~n file] produces [n] dispersed blocks, [m <= n <= 255].
     [file] is padded internally to a multiple of [m] bytes; use
     {!reconstruct} with the original length to strip the padding. The result
-    has pieces in index order [0 .. n-1]. When [pool] is given and the
-    encode work is large enough to amortize fan-out, pieces are encoded in
-    parallel across its domains; the output is byte-identical to the
-    sequential path. *)
+    has pieces in index order [0 .. n-1]; pieces [0 .. m-1] are the source
+    blocks verbatim (systematic prefix, emitted by memcpy). When [pool] is
+    given and the encode work is large enough to amortize fan-out, the
+    (row group) x (column block) task grid is spread across its domains —
+    each task builds any lane tables it needs itself, so no serial warm-up
+    precedes the fan-out; the output is byte-identical to the sequential
+    path. *)
 
 val piece_size : t -> file_size:int -> int
 (** Payload size of each dispersed block for a file of [file_size] bytes:
@@ -68,7 +79,9 @@ val cached_inverses : t -> int
 
 val cache_stats : t -> int * int
 (** [(hits, misses)] of the reconstruction-inverse cache since [create],
-    counted per {!reconstruct} lookup. *)
+    counted per {!reconstruct} lookup. Concurrent first lookups of one
+    row subset may each count a miss (each computes its own inverse; the
+    cache keeps one). *)
 
 val encode_passes : unit -> int
 (** Cumulative number of row-encode passes performed by {!disperse} and

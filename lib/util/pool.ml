@@ -10,7 +10,7 @@ type job = {
   n : int;
   next : int Atomic.t; (* next unclaimed index *)
   pending : int Atomic.t; (* indices not yet completed *)
-  mutable error : exn option; (* first exception, re-raised by the caller *)
+  error : exn option Atomic.t; (* first exception, re-raised by the caller *)
   job_lock : Mutex.t;
   finished : Condition.t;
 }
@@ -26,10 +26,11 @@ type t = {
 
 let size t = Array.length t.workers + 1
 
+(* First error wins: a CAS from [None], so concurrent failures from
+   several domains race benignly and the fast-abort read below needs no
+   lock at all. *)
 let record_error job e =
-  Mutex.lock job.job_lock;
-  if job.error = None then job.error <- Some e;
-  Mutex.unlock job.job_lock
+  ignore (Atomic.compare_and_set job.error None (Some e))
 
 (* Claim and complete indices until the job is exhausted. Once an error is
    recorded the remaining indices are drained without running, so the
@@ -38,8 +39,9 @@ let execute job =
   let rec go () =
     let i = Atomic.fetch_and_add job.next 1 in
     if i < job.n then begin
-      (if job.error = None then
-         try job.run i with e -> record_error job e);
+      (match Atomic.get job.error with
+      | None -> ( try job.run i with e -> record_error job e)
+      | Some _ -> ());
       if Atomic.fetch_and_add job.pending (-1) = 1 then begin
         Mutex.lock job.job_lock;
         Condition.broadcast job.finished;
@@ -116,7 +118,10 @@ let parallel_for t ~n f =
     else begin
       if obs then begin
         Pindisk_obs.Registry.add obs_fanned n;
-        Pindisk_obs.Registry.set obs_fanout (size t)
+        (* With fewer tasks than domains the surplus domains never claim
+           an index: report the parallelism actually available, not the
+           pool width. *)
+        Pindisk_obs.Registry.set obs_fanout (min n (size t))
       end;
       let job =
         {
@@ -124,7 +129,7 @@ let parallel_for t ~n f =
           n;
           next = Atomic.make 0;
           pending = Atomic.make n;
-          error = None;
+          error = Atomic.make None;
           job_lock = Mutex.create ();
           finished = Condition.create ();
         }
@@ -146,7 +151,7 @@ let parallel_for t ~n f =
         Condition.wait job.finished job.job_lock
       done;
       Mutex.unlock job.job_lock;
-      match job.error with Some e -> raise e | None -> ()
+      match Atomic.get job.error with Some e -> raise e | None -> ()
     end
   end
 

@@ -30,7 +30,9 @@ val parallel_for : t -> n:int -> (int -> unit) -> unit
     When {!Pindisk_obs.Control.enabled} is up, each call counts one
     [pool.jobs], classifies its [n] tasks as [pool.tasks.inline] (run as
     a plain loop) or [pool.tasks.fanned] (published to workers), and
-    records the participating domain count in the [pool.fanout] gauge. *)
+    records the domain count that can actually participate —
+    [min n (size t)], since surplus domains never claim an index when
+    tasks are scarcer than domains — in the [pool.fanout] gauge. *)
 
 val shutdown : t -> unit
 (** Terminates and joins the worker domains. Subsequent {!parallel_for}

@@ -241,6 +241,77 @@ let test_ensure_tables () =
   Alcotest.(check bool) "post ensure_tables" true
     (Bytes.equal dst (ref_row ~coeffs:[| 255 |] ~srcs:[| src |] ~len:10))
 
+let test_wide_tables_build_once_under_race () =
+  (* Eight domains racing to first-use every coefficient: one-shot CAS
+     publication means each of the 256 wide tables is built exactly once
+     process-wide, no matter who wins — so after the race the cumulative
+     build counter reads exactly 256 (tables built by earlier tests
+     included; duplicates anywhere would push it past). *)
+  let all = Array.init 256 (fun c -> c) in
+  let domains =
+    Array.init 7 (fun _ -> Domain.spawn (fun () -> Gf.ensure_tables all))
+  in
+  Gf.ensure_tables all;
+  Array.iter Domain.join domains;
+  check_int "every table built exactly once" 256 (Gf.wide_table_builds ());
+  (* and the published tables are the real ones *)
+  let src = Bytes.init 257 (fun i -> Char.chr (i * 31 land 0xff)) in
+  let dst = Bytes.create 257 in
+  Gf.encode_row ~dst ~coeffs:[| 0x8e |] ~srcs:[| src |];
+  Alcotest.(check bool) "post-race table correct" true
+    (Bytes.equal dst (ref_row ~coeffs:[| 0x8e |] ~srcs:[| src |] ~len:257))
+
+let test_lanes_windows_and_prefix () =
+  let rng = Random.State.make [| 11 |] in
+  let k = 5 and len = 100 in
+  let stride = len + 3 in
+  let src = rand_bytes rng (k * stride) in
+  let blocks = Array.init k (fun j -> Bytes.sub src (j * stride) len) in
+  let rows =
+    Array.init 4 (fun _ -> Array.init k (fun _ -> Random.State.int rng 256))
+  in
+  let l = Gf.lanes rows in
+  check_int "group" 4 (Gf.lanes_group l);
+  check_int "width" k (Gf.lanes_width l);
+  (* Disjoint [pos, len) windows — deliberately unaligned — must compose
+     to exactly the full-width result. *)
+  let dsts = Array.init 4 (fun _ -> rand_bytes rng len) in
+  List.iter
+    (fun (pos, wlen) -> Gf.encode_lanes l ~dsts ~src ~stride ~pos ~len:wlen)
+    [ (0, 13); (13, 1); (14, 57); (71, 29) ];
+  Array.iteri
+    (fun i dst ->
+      Alcotest.(check bool)
+        (Printf.sprintf "windows compose, row %d" i)
+        true
+        (Bytes.equal dst (ref_row ~coeffs:rows.(i) ~srcs:blocks ~len)))
+    dsts;
+  (* A dsts prefix shorter than the group uses the same tables and must
+     leave the missing rows' work unwritten. *)
+  let two = Array.init 2 (fun _ -> Bytes.create len) in
+  Gf.encode_lanes l ~dsts:two ~src ~stride ~pos:0 ~len;
+  Array.iteri
+    (fun i dst ->
+      Alcotest.(check bool)
+        (Printf.sprintf "prefix row %d" i)
+        true
+        (Bytes.equal dst (ref_row ~coeffs:rows.(i) ~srcs:blocks ~len)))
+    two;
+  Alcotest.check_raises "too many dsts"
+    (Invalid_argument "Gf256.encode_lanes: need 1 to lanes-group destinations")
+    (fun () ->
+      Gf.encode_lanes
+        (Gf.lanes [| [| 1 |] |])
+        ~dsts:(Array.init 2 (fun _ -> Bytes.create 4))
+        ~src:(Bytes.create 4) ~stride:4 ~pos:0 ~len:4);
+  Alcotest.check_raises "window past dst"
+    (Invalid_argument "Gf256.encode_lanes: dst shorter than pos + len")
+    (fun () ->
+      Gf.encode_lanes
+        (Gf.lanes [| [| 1 |] |])
+        ~dsts:[| Bytes.create 4 |]
+        ~src:(Bytes.create 8) ~stride:8 ~pos:2 ~len:3)
+
 let kernel_props =
   let gen =
     QCheck2.Gen.(
@@ -266,6 +337,49 @@ let kernel_props =
             Gf.encode_row ~dst:one ~coeffs:row ~srcs:blocks;
             Bytes.equal dst one)
           dsts rows);
+    (* Adversarial shapes for the SWAR kernel: odd lengths, strides not
+       divisible by 8, unaligned window offsets, zero/one coefficients
+       and systematic (unit) rows, and destination prefixes narrower
+       than the lane group. Bytes outside the window must be
+       untouched. *)
+    prop "SWAR encode_lanes == scalar reference on adversarial shapes" 300
+      gen
+      (fun (len, seed) ->
+        let rng = Random.State.make [| seed; 77 |] in
+        let k = Random.State.int rng 7 in
+        let g = 1 + Random.State.int rng 4 in
+        let stride = len + Random.State.int rng 7 in
+        let pos = Random.State.int rng (len + 1) in
+        let wlen = Random.State.int rng (len - pos + 1) in
+        let src = rand_bytes rng (max 1 (k * stride)) in
+        let blocks = Array.init k (fun j -> Bytes.sub src (j * stride) len) in
+        let rows =
+          Array.init g (fun r ->
+              Array.init k (fun j ->
+                  match Random.State.int rng 6 with
+                  | 0 -> 0
+                  | 1 -> 1
+                  | 2 -> if j = r then 1 else 0
+                  | _ -> Random.State.int rng 256))
+        in
+        let l = Gf.lanes rows in
+        let g' = 1 + Random.State.int rng g in
+        let dsts = Array.init g' (fun _ -> rand_bytes rng len) in
+        let before = Array.map Bytes.copy dsts in
+        Gf.encode_lanes l ~dsts ~src ~stride ~pos ~len:wlen;
+        let ok = ref true in
+        Array.iteri
+          (fun r dst ->
+            let expect = ref_row ~coeffs:rows.(r) ~srcs:blocks ~len in
+            for i = 0 to len - 1 do
+              let want =
+                if i >= pos && i < pos + wlen then Bytes.get expect i
+                else Bytes.get before.(r) i
+              in
+              if Bytes.get dst i <> want then ok := false
+            done)
+          dsts;
+        !ok);
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -352,6 +466,10 @@ let () =
           Alcotest.test_case "encode_rows matches reference" `Quick
             test_encode_rows_matches_reference;
           Alcotest.test_case "ensure_tables" `Quick test_ensure_tables;
+          Alcotest.test_case "wide tables build once under race" `Quick
+            test_wide_tables_build_once_under_race;
+          Alcotest.test_case "lanes windows and prefix" `Quick
+            test_lanes_windows_and_prefix;
         ] );
       ("kernel-properties", List.map QCheck_alcotest.to_alcotest kernel_props);
       ( "matrix",

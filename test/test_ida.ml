@@ -132,13 +132,15 @@ let test_duplicate_keeps_first () =
 (* Golden dispersal: the wire format must never drift. Expected bytes are
    pinned literally and re-derived from an independent scalar GF(256)
    model (carry-less shift-and-xor multiply, Vandermonde row i = powers
-   of 3^i) that shares no code with the library kernels. *)
+   of 3^i, systematized by Gauss-Jordan against the top square) that
+   shares no code with the library kernels. The first [m] pieces are the
+   source blocks verbatim — the systematic prefix is part of the wire
+   format. *)
 let test_golden_dispersal () =
   let file = bytes_of_string "GOLDEN" in
   let m = 3 and n = 5 in
   let golden =
-    [| (0, "\x4e\x45"); (1, "\xd9\xee"); (2, "\x59\xc2"); (3, "\x68\x79");
-       (4, "\x0f\x71") |]
+    [| (0, "GO"); (1, "LD"); (2, "EN"); (3, "\x1a\x1b"); (4, "\xb4\x98") |]
   in
   let ida = Ida.create ~m in
   let pieces = Ida.disperse ida ~n file in
@@ -159,9 +161,63 @@ let test_golden_dispersal () =
     in
     go 0 (a land 0xff) (b land 0xff)
   in
-  let pow3 i =
-    let rec go acc k = if k = 0 then acc else go (slow_mul acc 3) (k - 1) in
-    go 1 i
+  let slow_inv a =
+    let rec find x = if slow_mul a x = 1 then x else find (x + 1) in
+    find 1
+  in
+  (* Vandermonde row i = powers of 3^i. *)
+  let v =
+    Array.init n (fun i ->
+        let a =
+          let rec pow3 acc k = if k = 0 then acc else pow3 (slow_mul acc 3) (k - 1) in
+          pow3 1 i
+        in
+        let row = Array.make m 0 in
+        let c = ref 1 in
+        for j = 0 to m - 1 do
+          row.(j) <- !c;
+          c := slow_mul !c a
+        done;
+        row)
+  in
+  (* Invert the top m x m square by Gauss-Jordan. *)
+  let a = Array.init m (fun i -> Array.copy v.(i)) in
+  let tinv = Array.init m (fun i -> Array.init m (fun j -> if i = j then 1 else 0)) in
+  for col = 0 to m - 1 do
+    let p = ref col in
+    while a.(!p).(col) = 0 do
+      incr p
+    done;
+    let swap arr =
+      let t = arr.(col) in
+      arr.(col) <- arr.(!p);
+      arr.(!p) <- t
+    in
+    swap a;
+    swap tinv;
+    let s = slow_inv a.(col).(col) in
+    for j = 0 to m - 1 do
+      a.(col).(j) <- slow_mul s a.(col).(j);
+      tinv.(col).(j) <- slow_mul s tinv.(col).(j)
+    done;
+    for r = 0 to m - 1 do
+      if r <> col && a.(r).(col) <> 0 then begin
+        let f = a.(r).(col) in
+        for j = 0 to m - 1 do
+          a.(r).(j) <- a.(r).(j) lxor slow_mul f a.(col).(j);
+          tinv.(r).(j) <- tinv.(r).(j) lxor slow_mul f tinv.(col).(j)
+        done
+      end
+    done
+  done;
+  (* Systematic dispersal row i = (V * Tinv) row i. *)
+  let srow i =
+    Array.init m (fun j ->
+        let acc = ref 0 in
+        for k = 0 to m - 1 do
+          acc := !acc lxor slow_mul v.(i).(k) tinv.(k).(j)
+        done;
+        !acc)
   in
   let s = (Bytes.length file + m - 1) / m in
   let block j i =
@@ -170,13 +226,11 @@ let test_golden_dispersal () =
   in
   Array.iteri
     (fun i p ->
-      let a = pow3 i in
+      let row = srow i in
       for byte = 0 to s - 1 do
         let expect = ref 0 in
-        let coeff = ref 1 in
         for j = 0 to m - 1 do
-          expect := !expect lxor slow_mul !coeff (block j byte);
-          coeff := slow_mul !coeff a
+          expect := !expect lxor slow_mul row.(j) (block j byte)
         done;
         Alcotest.(check int)
           (Printf.sprintf "model piece %d byte %d" i byte)
@@ -208,10 +262,13 @@ let test_inverse_cache_capped () =
     (Invalid_argument "Ida.set_cache_cap: cap must be >= 1") (fun () ->
       Ida.set_cache_cap ida 0)
 
-let test_lru_keeps_hot_entry () =
+let test_cache_replaces_oldest () =
+  (* The lock-free cache replaces the oldest entry under capacity
+     pressure (insertion order, not access order — entries are immutable
+     so hits touch nothing). Sequentially that is fully deterministic. *)
   let ida = Ida.create ~m:2 in
   Ida.set_cache_cap ida 2;
-  let file = bytes_of_string "lru" in
+  let file = bytes_of_string "replacement" in
   let pieces = Ida.disperse ida ~n:6 file in
   let len = Bytes.length file in
   let recon a b = ignore (Ida.reconstruct ida ~length:len [ pieces.(a); pieces.(b) ]) in
@@ -220,16 +277,18 @@ let test_lru_keeps_hot_entry () =
   recon 2 3;
   (* miss *)
   recon 0 1;
-  (* hit; re-touches (0,1) so (2,3) is now the LRU victim *)
+  (* hit *)
   recon 4 5;
-  (* miss, evicts (2,3) *)
+  (* miss; at cap, so the oldest entry (0,1) is replaced *)
   Alcotest.(check int) "cap held" 2 (Ida.cached_inverses ida);
-  recon 0 1;
-  (* hit: survived the eviction *)
-  Alcotest.(check (pair int int)) "hits/misses" (2, 3) (Ida.cache_stats ida);
   recon 2 3;
-  (* miss again: it was the evicted entry *)
-  Alcotest.(check (pair int int)) "evicted entry misses" (2, 4)
+  (* hit: survived the replacement *)
+  recon 4 5;
+  (* hit *)
+  Alcotest.(check (pair int int)) "hits/misses" (3, 3) (Ida.cache_stats ida);
+  recon 0 1;
+  (* miss again: it was the replaced entry *)
+  Alcotest.(check (pair int int)) "replaced entry misses" (3, 4)
     (Ida.cache_stats ida)
 
 let test_transmit_wastes_no_encode_passes () =
@@ -279,6 +338,46 @@ let prop_parallel_matches_sequential =
           pieces_equal
           && Bytes.equal seq_back file
           && Bytes.equal par_back file))
+
+let test_multi_domain_reconstruct_shared_context () =
+  (* Several domains reconstruct concurrently through ONE Ida.t — cold
+     cache, overlapping row subsets — exercising the lock-free inverse
+     cache under real races. Every result must equal the file, and the
+     cache must stay within its cap. *)
+  let m = 5 in
+  let len = 40_000 in
+  let rng = Random.State.make [| 4242 |] in
+  let file = Bytes.init len (fun _ -> Char.chr (Random.State.int rng 256)) in
+  let ida = Ida.create ~m in
+  Ida.set_cache_cap ida 4;
+  let pieces = Ida.disperse ida ~n:12 file in
+  let subsets =
+    (* coded-heavy subsets so reconstruction exercises the kernel, plus
+       the all-systematic one *)
+    [|
+      [ 7; 8; 9; 10; 11 ]; [ 0; 8; 9; 10; 11 ]; [ 1; 2; 9; 10; 11 ];
+      [ 3; 4; 5; 10; 11 ]; [ 0; 1; 2; 3; 4 ]; [ 2; 5; 7; 9; 11 ];
+    |]
+  in
+  let worker d () =
+    let ok = ref true in
+    for round = 0 to 11 do
+      let subset =
+        List.map (fun i -> pieces.(i))
+          subsets.((d + round) mod Array.length subsets)
+      in
+      let back = Ida.reconstruct ida ~length:len subset in
+      if not (Bytes.equal back file) then ok := false
+    done;
+    !ok
+  in
+  let domains = Array.init 3 (fun d -> Domain.spawn (worker (d + 1))) in
+  let own = worker 0 () in
+  let all = Array.for_all Domain.join domains && own in
+  Alcotest.(check bool) "all domains reconstruct the file" true all;
+  Alcotest.(check bool) "cache within cap" true (Ida.cached_inverses ida <= 4);
+  let hits, misses = Ida.cache_stats ida in
+  Alcotest.(check int) "every lookup accounted" 48 (hits + misses)
 
 (* qcheck: random files, parameters and subsets *)
 
@@ -414,7 +513,9 @@ let () =
             test_duplicate_keeps_first;
           Alcotest.test_case "golden dispersal" `Quick test_golden_dispersal;
           Alcotest.test_case "inverse cache capped" `Quick test_inverse_cache_capped;
-          Alcotest.test_case "LRU keeps hot entry" `Quick test_lru_keeps_hot_entry;
+          Alcotest.test_case "cache replaces oldest" `Quick test_cache_replaces_oldest;
+          Alcotest.test_case "multi-domain reconstruct shares one context" `Quick
+            test_multi_domain_reconstruct_shared_context;
         ] );
       ( "ida-properties",
         List.map QCheck_alcotest.to_alcotest

@@ -446,6 +446,14 @@ let test_pool_fanout_metrics () =
         (Option.value
            (List.assoc_opt "pool.fanout" s.Snapshot.gauges)
            ~default:0);
+      (* Fewer tasks than domains: the gauge must report the parallelism
+         actually available, not the pool width. *)
+      Pool.parallel_for pool ~n:2 (fun _ -> ());
+      let s = Snapshot.take () in
+      check_int "scarce tasks cap the fan-out gauge" 2
+        (Option.value
+           (List.assoc_opt "pool.fanout" s.Snapshot.gauges)
+           ~default:0);
       Pool.parallel_for pool ~n:1 (fun _ -> ());
       let s = Snapshot.take () in
       check_int "singleton runs inline" 1 (counter_of s "pool.tasks.inline"))

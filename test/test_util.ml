@@ -253,6 +253,26 @@ let test_pool_exception_propagates () =
   check_int "pool alive after failure" 10 (Atomic.get ok);
   Pool.shutdown pool
 
+let test_pool_error_race () =
+  (* Every task fails, from whichever domain claims it: the atomic error
+     slot must surface exactly one of the raised exceptions (first CAS
+     wins — no torn read of a mutable option), and the pool must stay
+     usable afterwards. *)
+  let pool = Pool.create ~domains:4 () in
+  let raised = ref None in
+  (try
+     Pool.parallel_for pool ~n:64 (fun i -> raise (Failure (string_of_int i)))
+   with Failure msg -> raised := Some msg);
+  (match !raised with
+  | Some msg ->
+      let i = int_of_string msg in
+      check_bool "a task's own error surfaced" true (i >= 0 && i < 64)
+  | None -> Alcotest.fail "no exception propagated");
+  let ok = Atomic.make 0 in
+  Pool.parallel_for pool ~n:32 (fun _ -> ignore (Atomic.fetch_and_add ok 1));
+  check_int "pool alive after racing failures" 32 (Atomic.get ok);
+  Pool.shutdown pool
+
 let test_pool_empty_and_bad () =
   let pool = Pool.create ~domains:2 () in
   Pool.parallel_for pool ~n:0 (fun _ -> assert false);
@@ -344,6 +364,8 @@ let () =
             test_pool_single_domain_inline;
           Alcotest.test_case "exceptions propagate" `Quick
             test_pool_exception_propagates;
+          Alcotest.test_case "racing errors surface one" `Quick
+            test_pool_error_race;
           Alcotest.test_case "empty and bad inputs" `Quick test_pool_empty_and_bad;
         ] );
       ( "stats-properties",
