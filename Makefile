@@ -1,4 +1,4 @@
-.PHONY: all build test test-force test-metrics bench bench-tables bench-micro bench-codec bench-obs bench-sched bench-chaos bench-gate chaos lint tsan examples audit doc clean
+.PHONY: all build test test-force test-metrics bench bench-tables bench-micro bench-codec bench-obs bench-sched bench-chaos bench-cohort bench-gate chaos lint tsan examples audit doc clean
 
 all: build
 
@@ -40,6 +40,11 @@ bench-sched:
 bench-chaos:
 	dune exec bench/main.exe -- e22
 
+# Quick cohort-scale run (E23): million-client weighted-class
+# populations plus the cohort==drive spot-check; writes BENCH_cohort.json.
+bench-cohort:
+	PINDISK_COHORT_QUICK=1 dune exec bench/main.exe -- e23
+
 # Scripted chaos-scenario suite: crashes with restart-from-checkpoint,
 # stuck readers, loss bursts under fixed seeds; fails on any recovery
 # invariant violation. Writes chaos_summary.md (the CI artifact).
@@ -49,7 +54,7 @@ chaos:
 # Benchmark-regression gate: compare fresh quick-mode runs against the
 # committed baselines (bench/baselines/), failing on regression beyond
 # the tolerance band. Writes bench_gate_summary.md.
-bench-gate: bench-sched bench-codec bench-chaos
+bench-gate: bench-sched bench-codec bench-chaos bench-cohort
 	dune exec scripts/bench_gate.exe -- \
 	  --kind sched --fresh BENCH_sched.json \
 	  --baseline bench/baselines/BENCH_sched.baseline.json \
@@ -61,6 +66,10 @@ bench-gate: bench-sched bench-codec bench-chaos
 	dune exec scripts/bench_gate.exe -- \
 	  --kind chaos --fresh BENCH_chaos.json \
 	  --baseline bench/baselines/BENCH_chaos.baseline.json \
+	  --summary bench_gate_summary.md --append
+	dune exec scripts/bench_gate.exe -- \
+	  --kind cohort --fresh BENCH_cohort.json \
+	  --baseline bench/baselines/BENCH_cohort.baseline.json \
 	  --summary bench_gate_summary.md --append
 
 # Full test suite with metrics recording force-enabled (determinism

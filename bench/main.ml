@@ -30,6 +30,7 @@ let experiments =
     ("e20", "Codec engine: table-driven GF(256) + domain pool", Exp_codec.run);
     ("e21", "Scheduling scale: online dispatcher vs eager", Exp_sched.run);
     ("e22", "Chaos recovery: crash-restart cost vs fault rate", Exp_faults.run_chaos);
+    ("e23", "Cohort scale: weighted classes vs per-client drive", Exp_cohort.run);
   ]
 
 let () =

@@ -936,8 +936,71 @@ let adapt_cmd =
 
 (* ---------------- simulate ---------------- *)
 
+module Cohort = Pindisk_sim.Cohort
+module SimEngine = Pindisk_sim.Engine
+module SimStats = Pindisk_util.Stats
+
+(* Closed-form cohort run: [clients] spread uniformly over every file at
+   up to 16 phases across the period, folded analytically under
+   Bernoulli loss. No RNG anywhere, so the output is a stable golden
+   (exercised by test/cli/cohort.t). *)
+let simulate_cohort ~program ~bandwidth ~loss ~seed ~clients files =
+  let plan = P.Plan.explicit (Program.schedule program) in
+  let period = P.Plan.period plan in
+  let capacities =
+    List.map
+      (fun f -> (f.File_spec.id, Program.capacity program f.File_spec.id))
+      files
+  in
+  let phases = min period 16 in
+  let per_class = max 1 (clients / (List.length files * phases)) in
+  let classes =
+    List.concat_map
+      (fun f ->
+        List.init phases (fun i ->
+            {
+              Cohort.key =
+                {
+                  Cohort.file = f.File_spec.id;
+                  phase = i * (period / phases);
+                  needed = f.File_spec.blocks;
+                  deadline = File_spec.window f ~bandwidth;
+                };
+              weight = per_class;
+            }))
+      files
+  in
+  let r =
+    Cohort.run_population ~plan ~capacities
+      ~model:(Cohort.Bernoulli { p = loss })
+      ~seed classes
+  in
+  Format.printf "cohort: %d clients in %d classes (analytic fold)@."
+    r.SimEngine.requests (List.length classes);
+  Format.printf "  %-12s %9s %9s %9s %9s@." "file" "requests" "missed"
+    "miss%" "mean wait";
+  List.iter
+    (fun f ->
+      match
+        List.find_opt
+          (fun (pf : SimEngine.file_stats) -> pf.SimEngine.file = f.File_spec.id)
+          r.SimEngine.per_file
+      with
+      | None -> ()
+      | Some pf ->
+          Format.printf "  %-12s %9d %9d %8.1f%% %9.2f@." f.File_spec.name
+            pf.SimEngine.requests pf.SimEngine.missed
+            (100.0 *. SimEngine.file_miss_ratio pf)
+            (SimStats.mean pf.SimEngine.latency))
+    files;
+  Format.printf "  %-12s %9d %9d %8.1f%% %9.2f@." "overall" r.SimEngine.requests
+    r.SimEngine.missed
+    (100.0 *. SimEngine.miss_ratio r)
+    (SimStats.mean r.SimEngine.latency);
+  Format.printf "  losses absorbed: %d@." r.SimEngine.losses
+
 let simulate_cmd =
-  let run files loss trials seed metrics =
+  let run files loss trials seed cohort clients metrics =
     with_metrics metrics @@ fun () ->
     match collect parse_file files with
     | Error e -> fail "%s" e
@@ -947,18 +1010,20 @@ let simulate_cmd =
         | Some (b, program) ->
             Format.printf "bandwidth %d, period %d, loss rate %.0f%%@." b
               (Program.period program) (100.0 *. loss);
-            List.iter
-              (fun f ->
-                let summary =
-                  Pindisk_sim.Experiment.run ~program ~file:f.File_spec.id
-                    ~needed:f.File_spec.blocks
-                    ~deadline:(File_spec.window f ~bandwidth:b)
-                    ~fault:(fun ~seed -> Pindisk_sim.Fault.bernoulli ~p:loss ~seed)
-                    ~trials ~seed ()
-                in
-                Format.printf "  %-12s %a@." f.File_spec.name
-                  Pindisk_sim.Experiment.pp_summary summary)
-              files;
+            if cohort then simulate_cohort ~program ~bandwidth:b ~loss ~seed ~clients files
+            else
+              List.iter
+                (fun f ->
+                  let summary =
+                    Pindisk_sim.Experiment.run ~program ~file:f.File_spec.id
+                      ~needed:f.File_spec.blocks
+                      ~deadline:(File_spec.window f ~bandwidth:b)
+                      ~fault:(fun ~seed -> Pindisk_sim.Fault.bernoulli ~p:loss ~seed)
+                      ~trials ~seed ()
+                  in
+                  Format.printf "  %-12s %a@." f.File_spec.name
+                    Pindisk_sim.Experiment.pp_summary summary)
+                files;
             `Ok ())
   in
   let loss =
@@ -968,12 +1033,27 @@ let simulate_cmd =
     Arg.(value & opt int 1000 & info [ "trials" ] ~doc:"Clients per file.")
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  let cohort =
+    Arg.(
+      value & flag
+      & info [ "cohort" ]
+          ~doc:
+            "Simulate a closed-form client population by weighted \
+             equivalence classes (analytic fold) instead of per-client \
+             trials.")
+  in
+  let clients =
+    Arg.(
+      value & opt int 100_000
+      & info [ "clients" ] ~doc:"Population size for $(b,--cohort).")
+  in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Stochastic retrieval simulation")
     Term.(
       ret
         (const (fun () -> run)
-        $ setup_logs $ files_arg $ loss $ trials $ seed $ metrics_arg))
+        $ setup_logs $ files_arg $ loss $ trials $ seed $ cohort $ clients
+        $ metrics_arg))
 
 (* ---------------- chaos ---------------- *)
 

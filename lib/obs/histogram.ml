@@ -69,19 +69,24 @@ type t = {
 let create () =
   { count = 0; sum = 0; vmin = 0; vmax = 0; counts = Array.make bucket_count 0 }
 
-let observe t v =
-  if t.count = 0 then begin
-    t.vmin <- v;
-    t.vmax <- v
+let observe_n t v n =
+  if n < 0 then invalid_arg "Histogram.observe_n: negative count";
+  if n > 0 then begin
+    if t.count = 0 then begin
+      t.vmin <- v;
+      t.vmax <- v
+    end
+    else begin
+      if v < t.vmin then t.vmin <- v;
+      if v > t.vmax then t.vmax <- v
+    end;
+    t.count <- t.count + n;
+    t.sum <- t.sum + (v * n);
+    let b = bucket_of v in
+    t.counts.(b) <- t.counts.(b) + n
   end
-  else begin
-    if v < t.vmin then t.vmin <- v;
-    if v > t.vmax then t.vmax <- v
-  end;
-  t.count <- t.count + 1;
-  t.sum <- t.sum + v;
-  let b = bucket_of v in
-  t.counts.(b) <- t.counts.(b) + 1
+
+let observe t v = observe_n t v 1
 
 let count t = t.count
 let sum t = t.sum

@@ -20,6 +20,12 @@ val create : unit -> t
 val observe : t -> int -> unit
 (** Record one sample. *)
 
+val observe_n : t -> int -> int -> unit
+(** [observe_n t v n] records [n] copies of sample [v] in O(1) —
+    equivalent to [n] calls to [observe t v]. [n = 0] is a no-op;
+    negative [n] raises [Invalid_argument]. Lets weighted-cohort
+    producers feed class-sized observations without a per-member loop. *)
+
 val count : t -> int
 val sum : t -> int
 

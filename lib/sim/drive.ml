@@ -1,38 +1,55 @@
 module Plan = Pindisk_pinwheel.Plan
 module Schedule = Pindisk_pinwheel.Schedule
 module Intmath = Pindisk_util.Intmath
-module Stats = Pindisk_util.Stats
 module Obs = Pindisk_obs
 
-let obs_requests = Obs.Registry.counter "drive.requests"
-let obs_completed = Obs.Registry.counter "drive.completed"
-let obs_missed = Obs.Registry.counter "drive.missed"
-let obs_losses = Obs.Registry.counter "drive.losses"
+let sinks = Retire.sinks ~prefix:"drive"
 let obs_slots = Obs.Registry.counter "drive.slots"
-let obs_wait = Obs.Registry.histogram "drive.wait"
-let obs_file_wait f = Obs.Registry.histogram (Printf.sprintf "drive.wait.%d" f)
-let obs_file_miss f = Obs.Registry.counter (Printf.sprintf "drive.miss.%d" f)
 
-(* One period of warm-up dispatch counts occurrences per file: enough to
-   validate requests and compute the data cycle, in O(period·log n) time
-   and O(files) memory — no slot array. *)
-let occurrences_per_period plan =
+(* One period of warm-up dispatch, done once per plan: occurrence counts
+   per file (validation + data cycle) and the sorted slot offsets each
+   file occupies within a period (the cohort engine's occurrence
+   pattern). O(period·log n) time, O(period) memory, no slot array. *)
+type prep = {
+  period : int;
+  occ : (int, int) Hashtbl.t;
+  offsets : (int, int array) Hashtbl.t;
+}
+
+let prepare plan =
   let d = Plan.create plan in
+  let period = Plan.period plan in
   let occ = Hashtbl.create 64 in
-  for _ = 1 to Plan.period plan do
+  let rev_offsets = Hashtbl.create 64 in
+  for s = 0 to period - 1 do
     let f = Plan.next d in
-    if f <> Schedule.idle then
-      Hashtbl.replace occ f (1 + Option.value ~default:0 (Hashtbl.find_opt occ f))
+    if f <> Schedule.idle then begin
+      Hashtbl.replace occ f (1 + Option.value ~default:0 (Hashtbl.find_opt occ f));
+      Hashtbl.replace rev_offsets f
+        (s :: Option.value ~default:[] (Hashtbl.find_opt rev_offsets f))
+    end
   done;
-  occ
+  let offsets = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun f rev -> Hashtbl.replace offsets f (Array.of_list (List.rev rev)))
+    rev_offsets;
+  { period; occ; offsets }
 
-let data_cycle ~plan ~capacity occ =
+let period p = p.period
+let occurrences p = p.occ
+
+let slot_offsets p f =
+  Option.value ~default:[||] (Hashtbl.find_opt p.offsets f)
+
+let occurrences_per_period plan = (prepare plan).occ
+
+let data_cycle prep ~capacity =
   Hashtbl.fold
     (fun f o acc ->
       let n = capacity f in
       Intmath.lcm acc (n / Intmath.gcd n o))
-    occ 1
-  * Plan.period plan
+    prep.occ 1
+  * prep.period
 
 (* Per-request in-flight state during the sweep. *)
 type active = {
@@ -46,35 +63,45 @@ type active = {
       (* None = in flight; Some None = expired; Some (Some t) = done at t *)
 }
 
-let run ?max_slots ~plan ~capacities ~fault ~seed trace =
+let capacity_fn ~who capacities =
   let caps = Hashtbl.create 16 in
   List.iter
     (fun (f, n) ->
-      if n < 1 then invalid_arg "Drive.run: capacity must be >= 1";
+      if n < 1 then invalid_arg (who ^ ": capacity must be >= 1");
       Hashtbl.replace caps f n)
     capacities;
-  let capacity f =
+  fun f ->
     match Hashtbl.find_opt caps f with
     | Some n -> n
-    | None -> invalid_arg "Drive.run: file not in plan capacities"
+    | None -> invalid_arg (who ^ ": file not in plan capacities")
+
+let validate_request ~who ~capacity ~occ (r : Workload.request) =
+  if r.Workload.issued < 0 then invalid_arg (who ^ ": negative start");
+  if r.Workload.needed < 1 then invalid_arg (who ^ ": needed must be >= 1");
+  if r.Workload.needed > capacity r.Workload.file then
+    invalid_arg (who ^ ": needed exceeds the file's capacity");
+  if not (Hashtbl.mem occ r.Workload.file) then
+    invalid_arg (who ^ ": file never broadcast")
+
+let run ?prep ?max_slots ~plan ~capacities ~fault ~seed trace =
+  let capacity = capacity_fn ~who:"Drive.run" capacities in
+  let prep =
+    match prep with
+    | Some p ->
+        if p.period <> Plan.period plan then
+          invalid_arg "Drive.run: prep was built from a different plan";
+        p
+    | None -> prepare plan
   in
-  let occ = occurrences_per_period plan in
+  let occ = prep.occ in
   let max_slots =
     match max_slots with
     | Some m -> m
-    | None -> 100 * data_cycle ~plan ~capacity occ
+    | None -> 100 * data_cycle prep ~capacity
   in
   (* Validate every request up front, in trace order, mirroring
      [Client.retrieve]'s checks. *)
-  List.iter
-    (fun (r : Workload.request) ->
-      if r.Workload.issued < 0 then invalid_arg "Drive.run: negative start";
-      if r.Workload.needed < 1 then invalid_arg "Drive.run: needed must be >= 1";
-      if r.Workload.needed > capacity r.Workload.file then
-        invalid_arg "Drive.run: needed exceeds the file's capacity";
-      if not (Hashtbl.mem occ r.Workload.file) then
-        invalid_arg "Drive.run: file never broadcast")
-    trace;
+  List.iter (validate_request ~who:"Drive.run" ~capacity ~occ) trace;
   let states =
     List.mapi
       (fun k (r : Workload.request) ->
@@ -152,65 +179,21 @@ let run ?max_slots ~plan ~capacities ~fault ~seed trace =
     active := List.filter (fun s -> s.outcome = None) !active;
     incr t
   done;
-  (* Aggregate in original trace order — the same fold the eager engine
+  if Obs.Control.enabled () then Obs.Registry.add obs_slots !slots_swept;
+  (* Retire in original trace order — the same fold the eager engine
      performs, so the results (including float accumulation order) agree
      exactly. *)
-  let global = Stats.create () in
-  let per_file : (int, int ref * int ref * Stats.t) Hashtbl.t =
-    Hashtbl.create 8
-  in
-  let file_entry f =
-    match Hashtbl.find_opt per_file f with
-    | Some e -> e
-    | None ->
-        let e = (ref 0, ref 0, Stats.create ()) in
-        Hashtbl.add per_file f e;
-        e
-  in
-  let obs = Obs.Control.enabled () in
-  if obs then Obs.Registry.add obs_slots !slots_swept;
-  let completed = ref 0 and missed = ref 0 and losses = ref 0 in
-  List.iter
-    (fun s ->
-      let file = s.req.Workload.file in
-      let reqs, miss, lat = file_entry file in
-      incr reqs;
-      losses := !losses + s.losses;
-      if obs then Obs.Registry.incr obs_requests;
-      let record_miss () =
-        incr missed;
-        incr miss;
-        if obs then begin
-          Obs.Registry.incr obs_missed;
-          Obs.Registry.incr (obs_file_miss file)
-        end
-      in
-      match s.outcome with
-      | Some (Some slot) ->
-          let e = slot - s.req.Workload.issued + 1 in
-          incr completed;
-          Stats.add_int global e;
-          Stats.add_int lat e;
-          if obs then begin
-            Obs.Registry.incr obs_completed;
-            Obs.Histogram.observe obs_wait e;
-            Obs.Histogram.observe (obs_file_wait file) e
-          end;
-          if e > s.req.Workload.deadline then record_miss ()
-      | Some None | None -> record_miss ())
-    states;
-  if obs then Obs.Registry.add obs_losses !losses;
-  {
-    Engine.requests = List.length trace;
-    completed = !completed;
-    missed = !missed;
-    latency = global;
-    losses = !losses;
-    per_file =
-      Hashtbl.fold
-        (fun file (reqs, miss, lat) acc ->
-          { Engine.file; requests = !reqs; missed = !miss; latency = lat }
-          :: acc)
-        per_file []
-      |> List.sort (fun (a : Engine.file_stats) b -> compare a.file b.file);
-  }
+  Retire.retire ~sinks
+    (List.map
+       (fun s ->
+         {
+           Retire.file = s.req.Workload.file;
+           deadline = s.req.Workload.deadline;
+           elapsed =
+             (match s.outcome with
+             | Some (Some slot) -> Some (slot - s.req.Workload.issued + 1)
+             | Some None | None -> None);
+           weight = 1;
+           losses = s.losses;
+         })
+       states)

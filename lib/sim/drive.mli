@@ -14,9 +14,9 @@
 
     On a program built with [Program.make] from the plan's materialized
     schedule (zero phases), [run] returns a result {e equal} to
-    {!Engine.run}'s — aggregation happens in trace order, so even the
-    float accumulation order of the latency statistics matches. The test
-    suite pins this equivalence.
+    {!Engine.run}'s — aggregation happens in trace order via the shared
+    {!Retire} fold, so even the float accumulation order of the latency
+    statistics matches. The test suite pins this equivalence.
 
     Observability (all under the [drive.*] namespace, recorded only when
     {!Pindisk_obs.Control.enabled}): [drive.requests] / [drive.completed]
@@ -26,13 +26,37 @@
     slots dispatched by the sweep (one bulk add per run; the per-slot hot
     loop is never instrumented). *)
 
+type prep
+(** The per-plan warm-up product: period, occurrences per file, and each
+    file's sorted slot offsets within a period. Built by one
+    O(period·log n) dispatch; reusable across any number of {!run} /
+    {!Cohort.run} calls over the same plan, so repeated sweeps don't pay
+    the warm-up again. *)
+
+val prepare : Pindisk_pinwheel.Plan.t -> prep
+
+val period : prep -> int
+
+val occurrences : prep -> (int, int) Hashtbl.t
+(** Occurrences of each file in one plan period. Shared — don't mutate. *)
+
+val slot_offsets : prep -> int -> int array
+(** Ascending slot offsets (in [[0, period)]) at which a file is
+    broadcast; [[||]] for a file never broadcast. Shared — don't
+    mutate. *)
+
+val data_cycle : prep -> capacity:(int -> int) -> int
+(** Slots after which the (occurrence count mod capacity) phase of every
+    file realigns with slot 0 — the block-cycling period of the whole
+    broadcast. [100 · data_cycle] is the default retrieval window. *)
+
 val occurrences_per_period :
   Pindisk_pinwheel.Plan.t -> (int, int) Hashtbl.t
-(** Occurrences of each file in one plan period, computed by a one-period
-    warm-up dispatch: O(period·log n) time, O(files) memory, no slot
-    array. *)
+(** [occurrences (prepare plan)], for callers that only want the counts
+    once. *)
 
 val run :
+  ?prep:prep ->
   ?max_slots:int ->
   plan:Pindisk_pinwheel.Plan.t ->
   capacities:(int * int) list ->
@@ -43,6 +67,8 @@ val run :
 (** [run ~plan ~capacities ~fault ~seed trace] sweeps the slot axis once
     and retires every request. [max_slots] is each request's retrieval
     window (default [100 ·] the plan's data cycle, as for
-    {!Client.retrieve}). Raises [Invalid_argument] on a request naming an
-    unknown or never-broadcast file, [needed < 1] or beyond the file's
-    capacity, or a negative issue slot. *)
+    {!Client.retrieve}). Pass [?prep] (from {!prepare} on the {e same}
+    plan) to skip the per-call warm-up dispatch; a prep whose period
+    disagrees with the plan raises. Raises [Invalid_argument] on a
+    request naming an unknown or never-broadcast file, [needed < 1] or
+    beyond the file's capacity, or a negative issue slot. *)

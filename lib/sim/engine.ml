@@ -1,26 +1,17 @@
 module Stats = Pindisk_util.Stats
-module Obs = Pindisk_obs
 
-let obs_requests = Obs.Registry.counter "engine.requests"
-let obs_completed = Obs.Registry.counter "engine.completed"
-let obs_missed = Obs.Registry.counter "engine.missed"
-let obs_losses = Obs.Registry.counter "engine.losses"
-let obs_wait = Obs.Registry.histogram "engine.wait"
+(* Handles hoisted so repeated runs reuse the interned metrics; the
+   per-file mirrors are interned on first touch inside the fold. *)
+let sinks = Retire.sinks ~prefix:"engine"
 
-(* Per-file wait histograms and miss counters, interned by name so they
-   mirror [file_stats] one-to-one; the reconciliation test asserts the
-   aggregates agree exactly with the returned result. *)
-let obs_file_wait f = Obs.Registry.histogram (Printf.sprintf "engine.wait.%d" f)
-let obs_file_miss f = Obs.Registry.counter (Printf.sprintf "engine.miss.%d" f)
-
-type file_stats = {
+type file_stats = Retire.file_stats = {
   file : int;
   requests : int;
   missed : int;
   latency : Stats.t;
 }
 
-type result = {
+type result = Retire.result = {
   requests : int;
   completed : int;
   missed : int;
@@ -38,66 +29,24 @@ let file_miss_ratio (f : file_stats) =
   else float_of_int f.missed /. float_of_int f.requests
 
 let run ?max_slots ~program ~fault ~seed trace =
-  let global = Stats.create () in
-  let per_file : (int, int ref * int ref * Stats.t) Hashtbl.t =
-    Hashtbl.create 8
+  let rows =
+    List.mapi
+      (fun k (r : Workload.request) ->
+        let outcome =
+          Client.retrieve ?max_slots ~program ~file:r.Workload.file
+            ~needed:r.Workload.needed ~start:r.Workload.issued
+            ~fault:(fault ~seed:(Pindisk_util.Intmath.mix64 (seed + k))) ()
+        in
+        {
+          Retire.file = r.Workload.file;
+          deadline = r.Workload.deadline;
+          elapsed = outcome.Client.elapsed;
+          weight = 1;
+          losses = outcome.Client.losses;
+        })
+      trace
   in
-  let file_entry f =
-    match Hashtbl.find_opt per_file f with
-    | Some e -> e
-    | None ->
-        let e = (ref 0, ref 0, Stats.create ()) in
-        Hashtbl.add per_file f e;
-        e
-  in
-  let obs = Obs.Control.enabled () in
-  let completed = ref 0 and missed = ref 0 and losses = ref 0 in
-  List.iteri
-    (fun k (r : Workload.request) ->
-      let outcome =
-        Client.retrieve ?max_slots ~program ~file:r.Workload.file
-          ~needed:r.Workload.needed ~start:r.Workload.issued
-          ~fault:(fault ~seed:(Pindisk_util.Intmath.mix64 (seed + k))) ()
-      in
-      let reqs, miss, lat = file_entry r.Workload.file in
-      incr reqs;
-      losses := !losses + outcome.Client.losses;
-      if obs then Obs.Registry.incr obs_requests;
-      let record_miss () =
-        incr missed;
-        incr miss;
-        if obs then begin
-          Obs.Registry.incr obs_missed;
-          Obs.Registry.incr (obs_file_miss r.Workload.file)
-        end
-      in
-      match outcome.Client.elapsed with
-      | Some e ->
-          incr completed;
-          Stats.add_int global e;
-          Stats.add_int lat e;
-          if obs then begin
-            Obs.Registry.incr obs_completed;
-            Obs.Histogram.observe obs_wait e;
-            Obs.Histogram.observe (obs_file_wait r.Workload.file) e
-          end;
-          if e > r.Workload.deadline then record_miss ()
-      | None -> record_miss ())
-    trace;
-  if obs then Obs.Registry.add obs_losses !losses;
-  {
-    requests = List.length trace;
-    completed = !completed;
-    missed = !missed;
-    latency = global;
-    losses = !losses;
-    per_file =
-      Hashtbl.fold
-        (fun file (reqs, miss, lat) acc ->
-          { file; requests = !reqs; missed = !miss; latency = lat } :: acc)
-        per_file []
-      |> List.sort (fun a b -> compare a.file b.file);
-  }
+  Retire.retire ~sinks rows
 
 let pp_file_stats ppf (f : file_stats) =
   Format.fprintf ppf "file %d: %d requests, %d missed (%.1f%%)" f.file

@@ -6,14 +6,14 @@
     global and per-file statistics with percentiles — the measurement
     harness behind the program-comparison experiments. *)
 
-type file_stats = {
+type file_stats = Retire.file_stats = {
   file : int;
   requests : int;
   missed : int;  (** late or never completed *)
   latency : Pindisk_util.Stats.t;  (** completed retrievals only *)
 }
 
-type result = {
+type result = Retire.result = {
   requests : int;
   completed : int;
   missed : int;

@@ -1,81 +1,127 @@
+(* Observations are stored run-length encoded: parallel [values]/[weights]
+   arrays where entry [i] stands for [weights.(i)] copies of
+   [values.(i)]. [add] appends weight-1 entries, so the unweighted API
+   behaves exactly as it always did (same float accumulation order);
+   [add_weighted] is what lets the cohort engine account for millions of
+   statistically identical clients in O(1) memory per distinct value. *)
 type t = {
   mutable values : float array;
-  mutable len : int;
+  mutable weights : int array;
+  mutable len : int; (* stored entries *)
+  mutable count : int; (* total weight across entries *)
   mutable sum : float;
   mutable sorted : bool;
 }
 
-let create () = { values = Array.make 16 0.0; len = 0; sum = 0.0; sorted = true }
+let create () =
+  {
+    values = Array.make 16 0.0;
+    weights = Array.make 16 0;
+    len = 0;
+    count = 0;
+    sum = 0.0;
+    sorted = true;
+  }
 
-let add t x =
+let push t x w =
   if t.len = Array.length t.values then begin
     let bigger = Array.make (2 * t.len) 0.0 in
     Array.blit t.values 0 bigger 0 t.len;
-    t.values <- bigger
+    t.values <- bigger;
+    let bigger_w = Array.make (2 * t.len) 0 in
+    Array.blit t.weights 0 bigger_w 0 t.len;
+    t.weights <- bigger_w
   end;
   t.values.(t.len) <- x;
+  t.weights.(t.len) <- w;
   t.len <- t.len + 1;
-  t.sum <- t.sum +. x;
+  t.count <- t.count + w;
   t.sorted <- false
 
+let add t x =
+  push t x 1;
+  t.sum <- t.sum +. x
+
+let add_weighted t x w =
+  if w < 0 then invalid_arg "Stats.add_weighted: negative weight";
+  if w > 0 then begin
+    push t x w;
+    t.sum <- t.sum +. (if w = 1 then x else float_of_int w *. x)
+  end
+
 let add_int t x = add t (float_of_int x)
-let count t = t.len
+let count t = t.count
 let total t = t.sum
-let mean t = if t.len = 0 then Float.nan else t.sum /. float_of_int t.len
+let mean t = if t.count = 0 then Float.nan else t.sum /. float_of_int t.count
 
 let variance t =
   (* Two-pass over the stored values: the streaming [sum_sq/n - mean^2]
      formula cancels catastrophically for large-offset data (it can even
      go negative); the centered sum of squares cannot. *)
-  if t.len = 0 then Float.nan
+  if t.count = 0 then Float.nan
   else begin
     let m = mean t in
     let acc = ref 0.0 in
     for i = 0 to t.len - 1 do
       let d = t.values.(i) -. m in
-      acc := !acc +. (d *. d)
+      let sq = d *. d in
+      acc := !acc +. (if t.weights.(i) = 1 then sq else float_of_int t.weights.(i) *. sq)
     done;
-    !acc /. float_of_int t.len
+    !acc /. float_of_int t.count
   end
 
 let stddev t = sqrt (max 0.0 (variance t))
 
 let ensure_sorted t =
   if not t.sorted then begin
-    let live = Array.sub t.values 0 t.len in
-    Array.sort compare live;
-    Array.blit live 0 t.values 0 t.len;
+    let pairs = Array.init t.len (fun i -> (t.values.(i), t.weights.(i))) in
+    Array.sort compare pairs;
+    Array.iteri
+      (fun i (v, w) ->
+        t.values.(i) <- v;
+        t.weights.(i) <- w)
+      pairs;
     t.sorted <- true
   end
 
 let min_value t =
-  if t.len = 0 then invalid_arg "Stats.min_value: empty";
+  if t.count = 0 then invalid_arg "Stats.min_value: empty";
   ensure_sorted t;
   t.values.(0)
 
 let max_value t =
-  if t.len = 0 then invalid_arg "Stats.max_value: empty";
+  if t.count = 0 then invalid_arg "Stats.max_value: empty";
   ensure_sorted t;
   t.values.(t.len - 1)
 
+(* The k-th (0-based) order statistic of the weighted sample: scan the
+   sorted entries accumulating weight. O(len), which the percentile pair
+   below amortizes into one scan. *)
+let order_statistic t k =
+  let rec go i cum =
+    let cum = cum + t.weights.(i) in
+    if k < cum then t.values.(i) else go (i + 1) cum
+  in
+  go 0 0
+
 let percentile t p =
-  if t.len = 0 then invalid_arg "Stats.percentile: empty";
+  if t.count = 0 then invalid_arg "Stats.percentile: empty";
   if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
   ensure_sorted t;
-  if t.len = 1 then t.values.(0)
+  if t.count = 1 then t.values.(0)
   else begin
-    let rank = p /. 100.0 *. float_of_int (t.len - 1) in
+    let rank = p /. 100.0 *. float_of_int (t.count - 1) in
     let lo = int_of_float (floor rank) in
-    let hi = min (t.len - 1) (lo + 1) in
+    let hi = min (t.count - 1) (lo + 1) in
     let frac = rank -. float_of_int lo in
-    (t.values.(lo) *. (1.0 -. frac)) +. (t.values.(hi) *. frac)
+    (order_statistic t lo *. (1.0 -. frac)) +. (order_statistic t hi *. frac)
   end
 
 let median t = percentile t 50.0
 
 let histogram t ~buckets =
   if buckets < 1 then invalid_arg "Stats.histogram: buckets must be >= 1";
-  if t.len = 0 then []
+  if t.count = 0 then []
   else begin
     let lo = min_value t and hi = max_value t in
     let width = (hi -. lo) /. float_of_int buckets in
@@ -85,16 +131,16 @@ let histogram t ~buckets =
       let b =
         min (buckets - 1) (int_of_float ((t.values.(i) -. lo) /. width))
       in
-      counts.(b) <- counts.(b) + 1
+      counts.(b) <- counts.(b) + t.weights.(i)
     done;
     List.init buckets (fun b ->
         (lo +. (float_of_int b *. width), lo +. (float_of_int (b + 1) *. width), counts.(b)))
   end
 
 let pp_summary ppf t =
-  if t.len = 0 then Format.fprintf ppf "(no observations)"
+  if t.count = 0 then Format.fprintf ppf "(no observations)"
   else
     Format.fprintf ppf
-      "n=%d mean=%.2f sd=%.2f min=%.1f median=%.1f p99=%.1f max=%.1f" t.len
+      "n=%d mean=%.2f sd=%.2f min=%.1f median=%.1f p99=%.1f max=%.1f" t.count
       (mean t) (stddev t) (min_value t) (median t) (percentile t 99.0)
       (max_value t)

@@ -2,8 +2,10 @@
 
     An accumulator collects observations one at a time; summaries (mean,
     variance, percentiles) are computed on demand. Observations are kept
-    (percentiles need them), so memory is linear in the sample count —
-    fine for the simulation sizes this library runs. *)
+    run-length encoded (percentiles need them), so memory is linear in
+    the number of {e distinct additions}, not the total weight — a
+    cohort engine can account for millions of identical clients with
+    one [add_weighted] call. *)
 
 type t
 
@@ -12,7 +14,19 @@ val create : unit -> t
 val add : t -> float -> unit
 val add_int : t -> int -> unit
 
+val add_weighted : t -> float -> int -> unit
+(** [add_weighted t x w] records [w] copies of [x] in O(1). A weight of
+    [0] is a no-op; negative weights raise [Invalid_argument]. With
+    [w = 1] this is exactly [add] (same float accumulation), so mixed
+    weighted/unweighted use stays bit-compatible with the unweighted
+    API. All summaries below treat the accumulator as the multiset it
+    denotes: [count] is total weight, percentiles interpolate between
+    weighted order statistics, etc. *)
+
 val count : t -> int
+(** Total weight of the recorded multiset (= number of [add] calls when
+    only the unweighted API is used). *)
+
 val total : t -> float
 
 val mean : t -> float

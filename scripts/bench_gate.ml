@@ -93,9 +93,23 @@ let chaos_checks =
       floor = Some 6.0; gate_vs_baseline = true; requires = None };
   ]
 
+(* Cohort floors come from the E23 acceptance criteria: the analytic
+   fold must simulate >= 10^6 clients per core per wall-second, and the
+   in-bench spot-check (sampled Cohort.run vs Drive.run, several fault
+   models and seeds) must agree byte-for-byte — cohort_equals_drive is
+   1.0 or the gate fails. Throughput is floor-gated only, never compared
+   against the baseline: raw clients/sec is hardware-dependent. *)
+let cohort_checks =
+  [
+    { metric = "cohort_clients_per_sec_analytic"; dir = Higher_is_better;
+      floor = Some 1e6; gate_vs_baseline = false; requires = None };
+    { metric = "cohort_equals_drive"; dir = Higher_is_better;
+      floor = Some 1.0; gate_vs_baseline = false; requires = None };
+  ]
+
 let usage () =
   prerr_endline
-    "usage: bench_gate --kind sched|codec|chaos --fresh F --baseline B \
+    "usage: bench_gate --kind sched|codec|chaos|cohort --fresh F --baseline B \
      --summary OUT.md [--append] [--tolerance R] [--inject-slowdown F]";
   exit 2
 
@@ -151,6 +165,7 @@ let () =
     | "sched" -> sched_checks
     | "codec" -> codec_checks
     | "chaos" -> chaos_checks
+    | "cohort" -> cohort_checks
     | k -> Printf.eprintf "bench_gate: unknown kind %s\n" k; usage ()
   in
   let fresh = load fresh_p and base = load base_p in

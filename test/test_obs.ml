@@ -357,6 +357,66 @@ let test_ida_parallel_counters_match_sequential () =
   check_bool "pool actually fanned out" true
     (counter_of par_snap "pool.tasks.fanned" > 0)
 
+module Cohort = Pindisk_sim.Cohort
+module Pw = Pindisk_pinwheel
+
+let cohort_counters snap =
+  List.filter
+    (fun (name, _) ->
+      String.length name >= 6
+      && (String.sub name 0 6 = "cohort" || String.sub name 0 6 = "drive."))
+    snap.Snapshot.counters
+
+(* Cohort classes shard across pool domains, but the sharded registry
+   and the caller-side retirement fold must make the pooled run
+   indistinguishable from the 1-domain run: same Engine.result, same
+   merged drive.* / cohort.* counters. *)
+let test_cohort_pool_matches_sequential () =
+  with_metrics true @@ fun () ->
+  let program = Program.of_layout
+      [ (0, 0); (1, 0); (0, 1); (0, 2); (1, 1); (0, 3); (1, 2); (0, 4) ]
+      ~capacities:[ (0, 10); (1, 6) ]
+  in
+  let plan = Pw.Plan.explicit (Program.schedule program) in
+  let capacities = [ (0, 10); (1, 6) ] in
+  let trace =
+    Workload.generate ~program ~rate:0.2 ~theta:0.8
+      ~needed_of:(fun f -> if f = 0 then 5 else 3)
+      ~deadline_of:(fun f -> if f = 0 then 7 else 9)
+      ~horizon:1500 ~seed:4
+  in
+  let fault ~seed = Fault.bernoulli ~p:0.25 ~seed in
+  let model =
+    Cohort.Burst
+      { p_good_to_bad = 0.2; p_bad_to_good = 0.4; loss_good = 0.05;
+        loss_bad = 0.5 }
+  in
+  let classes = Cohort.classes_of_trace ~period:(Pw.Plan.period plan) trace in
+  let seq = Cohort.run ~plan ~capacities ~fault ~seed:5 trace in
+  let seq_pop =
+    Cohort.run_population ~plan ~capacities ~model ~seed:5 classes
+  in
+  let seq_counts = cohort_counters (Snapshot.take ()) in
+  Snapshot.reset ();
+  let pool = Pool.create ~domains:4 () in
+  let par, par_pop =
+    Fun.protect
+      ~finally:(fun () -> Pool.shutdown pool)
+      (fun () ->
+        ( Cohort.run ~pool ~plan ~capacities ~fault ~seed:5 trace,
+          Cohort.run_population ~pool ~plan ~capacities ~model ~seed:5 classes
+        ))
+  in
+  let par_counts = cohort_counters (Snapshot.take ()) in
+  check_string "pooled run byte-identical"
+    (Format.asprintf "%a" Engine.pp_result seq)
+    (Format.asprintf "%a" Engine.pp_result par);
+  check_string "pooled population byte-identical"
+    (Format.asprintf "%a" Engine.pp_result seq_pop)
+    (Format.asprintf "%a" Engine.pp_result par_pop);
+  check_bool "merged drive.*/cohort.* counters identical" true
+    (seq_counts = par_counts)
+
 let toy_layout =
   [ (0, 0); (1, 0); (0, 1); (0, 2); (1, 1); (0, 3); (1, 2); (0, 4) ]
 
@@ -500,6 +560,8 @@ let () =
         [
           Alcotest.test_case "ida parallel counters = sequential" `Quick
             test_ida_parallel_counters_match_sequential;
+          Alcotest.test_case "cohort pool = sequential" `Quick
+            test_cohort_pool_matches_sequential;
           Alcotest.test_case "engine deterministic under metrics" `Quick
             test_engine_deterministic_with_metrics;
           Alcotest.test_case "engine obs reconcile with file_stats" `Quick

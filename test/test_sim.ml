@@ -781,6 +781,453 @@ let test_drive_validation () =
       run [ { Workload.issued = 0; file = 3; needed = 2; deadline = 5 } ])
 
 (* ------------------------------------------------------------------ *)
+(* Cohort: weighted-class population engine                            *)
+(* ------------------------------------------------------------------ *)
+
+module Cohort = Pindisk_sim.Cohort
+
+(* Three program shapes for the equivalence matrix: the dyadic pinwheel
+   plan plus the two toy layouts replayed through explicit plans. *)
+let cohort_systems () =
+  let dyadic =
+    let plan, _, capacities = drive_plan_and_program () in
+    ("dyadic", plan, capacities,
+     List.concat_map
+       (fun k ->
+         let file = k mod 4 in
+         [
+           { Workload.issued = (3 * k) + (k mod 2); file;
+             needed = (if file = 0 then 2 else 1); deadline = 40 };
+           { Workload.issued = (3 * k) + 1; file; needed = 1; deadline = 0 };
+         ])
+       (List.init 12 Fun.id))
+  in
+  let of_program name program needed_of =
+    let plan = Pw.Plan.explicit (Program.schedule program) in
+    let capacities =
+      List.map (fun f -> (f, Program.capacity program f)) (Program.files program)
+    in
+    (name, plan, capacities,
+     List.concat_map
+       (fun k ->
+         let file = k mod 2 in
+         [
+           { Workload.issued = 2 * k; file; needed = needed_of file;
+             deadline = 30 };
+           { Workload.issued = (2 * k) + 1; file; needed = 1; deadline = 0 };
+         ])
+       (List.init 10 Fun.id))
+  in
+  [
+    dyadic;
+    of_program "flat" (toy_flat ()) (fun file -> if file = 0 then 3 else 2);
+    of_program "ida" (toy_ida ()) (fun file -> if file = 0 then 5 else 3);
+  ]
+
+let cohort_fault_models =
+  [
+    ("none", fun ~seed:_ -> Fault.none ());
+    ("bernoulli", fun ~seed -> Fault.bernoulli ~p:0.25 ~seed);
+    ("burst",
+     fun ~seed ->
+       Fault.burst ~p_good_to_bad:0.15 ~p_bad_to_good:0.35 ~loss_good:0.02
+         ~loss_bad:0.6 ~seed);
+    ("deterministic", fun ~seed:_ -> Fault.deterministic (fun t -> t mod 7 = 2));
+  ]
+
+let test_cohort_run_equals_drive () =
+  (* The tentpole pin: sampled-fault Cohort.run reproduces Drive.run's
+     Engine.result exactly — programs x fault models x seeds. *)
+  List.iter
+    (fun (sys, plan, capacities, trace) ->
+      List.iter
+        (fun (model, fault) ->
+          List.iter
+            (fun seed ->
+              ignore (sys, model);
+              result_eq
+                (Drive.run ~plan ~capacities ~fault ~seed trace)
+                (Cohort.run ~plan ~capacities ~fault ~seed trace))
+            [ 3; 17; 91 ])
+        cohort_fault_models)
+    (cohort_systems ())
+
+let test_cohort_run_equals_drive_max_slots () =
+  let _, plan, capacities, trace = List.hd (cohort_systems ()) in
+  let fault ~seed = Fault.bernoulli ~p:0.3 ~seed in
+  List.iter
+    (fun max_slots ->
+      result_eq
+        (Drive.run ~max_slots ~plan ~capacities ~fault ~seed:5 trace)
+        (Cohort.run ~max_slots ~plan ~capacities ~fault ~seed:5 trace))
+    [ 1; 16; 24; 128 ]
+
+let test_cohort_prep_reuse () =
+  let _, plan, capacities, trace = List.hd (cohort_systems ()) in
+  let fault ~seed = Fault.bernoulli ~p:0.25 ~seed in
+  let prep = Drive.prepare plan in
+  result_eq
+    (Drive.run ~plan ~capacities ~fault ~seed:7 trace)
+    (Drive.run ~prep ~plan ~capacities ~fault ~seed:7 trace);
+  result_eq
+    (Cohort.run ~plan ~capacities ~fault ~seed:7 trace)
+    (Cohort.run ~prep ~plan ~capacities ~fault ~seed:7 trace)
+
+let test_cohort_classes_of_trace () =
+  let _, plan, _, trace = List.hd (cohort_systems ()) in
+  let period = Pw.Plan.period plan in
+  let classes = Cohort.classes_of_trace ~period trace in
+  check_int "weights sum to trace length" (List.length trace)
+    (List.fold_left (fun acc (c : Cohort.cls) -> acc + c.Cohort.weight) 0 classes);
+  let keys = List.map (fun (c : Cohort.cls) -> c.Cohort.key) classes in
+  check_bool "canonical order" true (keys = List.sort compare keys);
+  List.iter
+    (fun (c : Cohort.cls) ->
+      check_bool "phase within period" true
+        (c.Cohort.key.Cohort.phase >= 0 && c.Cohort.key.Cohort.phase < period))
+    classes;
+  Alcotest.check_raises "bad period"
+    (Invalid_argument "Cohort.classes_of_trace: period must be >= 1") (fun () ->
+      ignore (Cohort.classes_of_trace ~period:0 trace))
+
+let test_cohort_population_no_loss_equals_drive () =
+  (* With no losses every member of a class completes at the same slot
+     distance, so the analytic fold must equal a per-client Drive run on
+     a trace that realizes the same classes (members spread over period
+     echoes of the same phase). *)
+  let _, plan, capacities, _ = List.hd (cohort_systems ()) in
+  let period = Pw.Plan.period plan in
+  let trace =
+    List.concat_map
+      (fun m ->
+        [
+          { Workload.issued = 2 + (m * period); file = 0; needed = 2;
+            deadline = 12 };
+          { Workload.issued = 5 + (m * period); file = 1; needed = 2;
+            deadline = 3 };
+        ])
+      (List.init 5 Fun.id)
+  in
+  let classes = Cohort.classes_of_trace ~period trace in
+  result_eq
+    (Drive.run ~plan ~capacities ~fault:(fun ~seed:_ -> Fault.none ()) ~seed:0
+       trace)
+    (Cohort.run_population ~plan ~capacities ~model:Cohort.No_loss ~seed:0
+       classes)
+
+let test_cohort_population_mass_conservation () =
+  let _, plan, capacities, trace = List.hd (cohort_systems ()) in
+  let period = Pw.Plan.period plan in
+  let classes =
+    List.map
+      (fun (c : Cohort.cls) -> { c with Cohort.weight = c.Cohort.weight * 1000 })
+      (Cohort.classes_of_trace ~period trace)
+  in
+  let population =
+    List.fold_left (fun acc (c : Cohort.cls) -> acc + c.Cohort.weight) 0 classes
+  in
+  let r =
+    Cohort.run_population ~plan ~capacities
+      ~model:(Cohort.Bernoulli { p = 0.3 })
+      ~seed:0 classes
+  in
+  check_int "every member retired" population r.Engine.requests;
+  check_int "completed = latency count" r.Engine.completed
+    (Stats.count r.Engine.latency);
+  check_bool "missed within population" true
+    (r.Engine.missed >= 0 && r.Engine.missed <= population);
+  check_int "per-file requests sum to population" population
+    (List.fold_left
+       (fun acc (f : Engine.file_stats) -> acc + f.Engine.requests)
+       0 r.Engine.per_file)
+
+let test_cohort_population_analytic_close_to_sampled () =
+  let _, plan, capacities, trace = List.hd (cohort_systems ()) in
+  let period = Pw.Plan.period plan in
+  let classes =
+    List.map
+      (fun (c : Cohort.cls) -> { c with Cohort.weight = c.Cohort.weight * 500 })
+      (Cohort.classes_of_trace ~period trace)
+  in
+  let model = Cohort.Bernoulli { p = 0.3 } in
+  let analytic =
+    Cohort.run_population ~plan ~capacities ~model ~seed:11 classes
+  in
+  let sampled =
+    Cohort.run_population ~sampled:true ~plan ~capacities ~model ~seed:11
+      classes
+  in
+  check_int "same population" analytic.Engine.requests sampled.Engine.requests;
+  check_bool "miss ratios agree" true
+    (abs_float (Engine.miss_ratio analytic -. Engine.miss_ratio sampled) < 0.03);
+  check_bool "mean latencies agree" true
+    (abs_float
+       (Stats.mean analytic.Engine.latency -. Stats.mean sampled.Engine.latency)
+     /. Stats.mean sampled.Engine.latency
+    < 0.1);
+  check_bool "losses agree" true
+    (abs_float
+       (float_of_int analytic.Engine.losses
+       -. float_of_int sampled.Engine.losses)
+     /. float_of_int (max 1 sampled.Engine.losses)
+    < 0.1)
+
+let test_cohort_population_validation () =
+  let _, plan, capacities, _ = List.hd (cohort_systems ()) in
+  let run classes =
+    ignore
+      (Cohort.run_population ~plan ~capacities ~model:Cohort.No_loss ~seed:0
+         classes)
+  in
+  let cls ?(file = 0) ?(phase = 0) ?(needed = 1) ?(deadline = 5) weight =
+    { Cohort.key = { Cohort.file; phase; needed; deadline }; weight }
+  in
+  Alcotest.check_raises "phase out of range"
+    (Invalid_argument "Cohort.run_population: phase out of [0, period)")
+    (fun () -> run [ cls ~phase:(-1) 5 ]);
+  Alcotest.check_raises "needed beyond capacity"
+    (Invalid_argument "Cohort.run_population: needed exceeds the file's capacity")
+    (fun () -> run [ cls ~file:3 ~needed:2 5 ]);
+  Alcotest.check_raises "unknown file"
+    (Invalid_argument "Cohort.run_population: file not in plan capacities")
+    (fun () -> run [ cls ~file:9 5 ]);
+  Alcotest.check_raises "negative weight"
+    (Invalid_argument "Cohort.run_population: negative class weight")
+    (fun () -> run [ cls (-1) ])
+
+(* Results compared structurally (bool, for qcheck properties). *)
+let result_equal_bool (a : Engine.result) (b : Engine.result) =
+  let stats_equal x y =
+    Stats.count x = Stats.count y
+    && (Stats.count x = 0
+       || Stats.total x = Stats.total y
+          && Stats.min_value x = Stats.min_value y
+          && Stats.max_value x = Stats.max_value y)
+  in
+  a.Engine.requests = b.Engine.requests
+  && a.Engine.completed = b.Engine.completed
+  && a.Engine.missed = b.Engine.missed
+  && a.Engine.losses = b.Engine.losses
+  && stats_equal a.Engine.latency b.Engine.latency
+  && List.length a.Engine.per_file = List.length b.Engine.per_file
+  && List.for_all2
+       (fun (fa : Engine.file_stats) (fb : Engine.file_stats) ->
+         fa.Engine.file = fb.Engine.file
+         && fa.Engine.requests = fb.Engine.requests
+         && fa.Engine.missed = fb.Engine.missed
+         && stats_equal fa.Engine.latency fb.Engine.latency)
+       a.Engine.per_file b.Engine.per_file
+
+(* qcheck: permuting a trace never changes its class partition, and
+   permuting/splitting the class list never changes the population
+   result (member fault seeds are content-derived, not index-derived). *)
+let prop_cohort_permutation_invariant =
+  let gen =
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 30)
+           (quad (int_range 0 3) (int_range 0 40) (int_range 1 2)
+              (int_range 0 20)))
+        (int_range 0 1000))
+  in
+  QCheck2.Test.make ~name:"cohort result is permutation-invariant" ~count:40
+    gen
+    (fun (raw, salt) ->
+      let _, plan, capacities, _ = List.hd (cohort_systems ()) in
+      let period = Pw.Plan.period plan in
+      let trace =
+        List.map
+          (fun (file, issued, needed, deadline) ->
+            (* file 3 has capacity 1 in the dyadic system. *)
+            let needed = if file = 3 then 1 else needed in
+            { Workload.issued; file; needed; deadline })
+          raw
+      in
+      (* A deterministic pseudo-random permutation keyed on the salt. *)
+      let permuted =
+        List.mapi (fun i r -> (Pindisk_util.Intmath.mix64 (salt + i), r)) trace
+        |> List.sort compare |> List.map snd
+      in
+      let classes = Cohort.classes_of_trace ~period trace in
+      let classes' = Cohort.classes_of_trace ~period permuted in
+      let model =
+        Cohort.Burst
+          { p_good_to_bad = 0.2; p_bad_to_good = 0.4; loss_good = 0.05;
+            loss_bad = 0.5 }
+      in
+      let run cs =
+        Cohort.run_population ~max_slots:64 ~plan ~capacities ~model ~seed:9 cs
+      in
+      classes = classes'
+      && result_equal_bool (run classes) (run (List.rev classes))
+      && result_equal_bool (run classes) (run classes'))
+
+(* ------------------------------------------------------------------ *)
+(* Workload.ycsb                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let ycsb_program () =
+  (* Four files, id order = popularity order. *)
+  Program.flat [ (0, 2); (1, 2); (2, 2); (3, 2) ]
+
+let ycsb ?(rate = 0.8) ?(popularity = Workload.Zipfian { theta = 1.2 })
+    ?(arrivals = Workload.Steady) ?(horizon = 4000) ?(seed = 42) () =
+  Workload.ycsb ~program:(ycsb_program ()) ~rate ~popularity ~arrivals
+    ~needed_of:(fun _ -> 1)
+    ~deadline_of:(fun _ -> 16)
+    ~horizon ~seed
+
+let file_counts trace =
+  let counts = Array.make 4 0 in
+  List.iter
+    (fun (r : Workload.request) ->
+      counts.(r.Workload.file) <- counts.(r.Workload.file) + 1)
+    trace;
+  counts
+
+let test_ycsb_deterministic () =
+  let a = ycsb () and b = ycsb () in
+  check_bool "same seed, identical trace" true (a = b);
+  check_bool "different seed, different trace" true (a <> ycsb ~seed:43 ());
+  check_bool "sorted by issue slot" true
+    (List.for_all2
+       (fun (x : Workload.request) (y : Workload.request) ->
+         x.Workload.issued <= y.Workload.issued)
+       (List.filteri (fun i _ -> i < List.length a - 1) a)
+       (List.tl a));
+  List.iter
+    (fun (r : Workload.request) ->
+      check_bool "slot within horizon" true
+        (r.Workload.issued >= 0 && r.Workload.issued < 4000))
+    a
+
+let test_ycsb_zipfian_skew () =
+  (* Chi-squared-style pin: empirical file shares must track the zipf
+     weights (theta 1.2 over 4 files) within a few points. *)
+  let trace = ycsb ~horizon:8000 () in
+  let counts = file_counts trace in
+  let total = float_of_int (Array.fold_left ( + ) 0 counts) in
+  let expected = Pindisk_sim.Cache.zipf_weights ~n:4 ~theta:1.2 in
+  let chi2 = ref 0.0 in
+  Array.iteri
+    (fun i c ->
+      let e = expected.(i) *. total in
+      let d = float_of_int c -. e in
+      chi2 := !chi2 +. (d *. d /. e))
+    counts;
+  (* 3 degrees of freedom: chi2 < 16.27 is the 99.9th percentile. *)
+  check_bool
+    (Printf.sprintf "chi2 %.2f within 99.9%% band" !chi2)
+    true (!chi2 < 16.27);
+  check_bool "skew is visible" true (counts.(0) > 2 * counts.(3))
+
+let test_ycsb_hotspot () =
+  let trace =
+    ycsb ~popularity:(Workload.Hotspot { hot_fraction = 0.25; hot_weight = 0.8 })
+      ~horizon:8000 ()
+  in
+  let counts = file_counts trace in
+  let total = float_of_int (Array.fold_left ( + ) 0 counts) in
+  let hot_share = float_of_int counts.(0) /. total in
+  check_bool
+    (Printf.sprintf "hot file holds ~80%% (got %.3f)" hot_share)
+    true
+    (abs_float (hot_share -. 0.8) < 0.04);
+  (* The three cold files split the rest roughly evenly. *)
+  List.iter
+    (fun i ->
+      let share = float_of_int counts.(i) /. total in
+      check_bool
+        (Printf.sprintf "cold file %d near 1/15 (got %.3f)" i share)
+        true
+        (abs_float (share -. (0.2 /. 3.0)) < 0.03))
+    [ 1; 2; 3 ]
+
+let test_ycsb_shifting_rotates () =
+  let trace =
+    ycsb ~popularity:(Workload.Shifting { theta = 1.5; every = 1000 })
+      ~horizon:2000 ()
+  in
+  let window lo hi =
+    let counts = Array.make 4 0 in
+    List.iter
+      (fun (r : Workload.request) ->
+        if r.Workload.issued >= lo && r.Workload.issued < hi then
+          counts.(r.Workload.file) <- counts.(r.Workload.file) + 1)
+      trace;
+    counts
+  in
+  let argmax a =
+    let best = ref 0 in
+    Array.iteri (fun i v -> if v > a.(!best) then best := i) a;
+    !best
+  in
+  check_int "first window favors file 0" 0 (argmax (window 0 1000));
+  check_int "second window favors file 1" 1 (argmax (window 1000 2000))
+
+let test_ycsb_diurnal_wave () =
+  let trace =
+    ycsb ~arrivals:(Workload.Diurnal { period = 400; trough = 0.05 })
+      ~horizon:8000 ()
+  in
+  (* sin peaks at phase 100, bottoms at phase 300 (period 400). *)
+  let in_band center r =
+    let phase = r.Workload.issued mod 400 in
+    abs (phase - center) <= 50
+  in
+  let peak = List.length (List.filter (in_band 100) trace) in
+  let trough = List.length (List.filter (in_band 300) trace) in
+  check_bool
+    (Printf.sprintf "peak band %d >> trough band %d" peak trough)
+    true
+    (peak > 4 * trough)
+
+let test_ycsb_flash_crowd () =
+  let trace =
+    ycsb ~arrivals:(Workload.Flash { at = 2000; magnitude = 6.0; width = 200 })
+      ~horizon:4000 ()
+  in
+  let count lo hi =
+    List.length
+      (List.filter
+         (fun (r : Workload.request) ->
+           r.Workload.issued >= lo && r.Workload.issued < hi)
+         trace)
+  in
+  let spike = count 1900 2100 and baseline = count 900 1100 in
+  check_bool
+    (Printf.sprintf "flash window %d >> baseline %d" spike baseline)
+    true
+    (spike > 2 * baseline)
+
+let test_ycsb_validation () =
+  let run ?(rate = 1.0) ?(popularity = Workload.Zipfian { theta = 0.5 })
+      ?(arrivals = Workload.Steady) ?(horizon = 10) () =
+    ignore (ycsb ~rate ~popularity ~arrivals ~horizon ())
+  in
+  let raises msg f = Alcotest.check_raises msg (Invalid_argument msg) f in
+  raises "Workload.ycsb: rate must be positive" (fun () -> run ~rate:0.0 ());
+  raises "Workload.ycsb: horizon must be >= 1" (fun () -> run ~horizon:0 ());
+  raises "Workload.ycsb: negative theta" (fun () ->
+      run ~popularity:(Workload.Zipfian { theta = -1.0 }) ());
+  raises "Workload.ycsb: hot_fraction must be in (0, 1]" (fun () ->
+      run ~popularity:(Workload.Hotspot { hot_fraction = 0.0; hot_weight = 0.5 }) ());
+  raises "Workload.ycsb: hot_weight must be in [0, 1]" (fun () ->
+      run ~popularity:(Workload.Hotspot { hot_fraction = 0.5; hot_weight = 1.5 }) ());
+  raises "Workload.ycsb: every must be >= 1" (fun () ->
+      run ~popularity:(Workload.Shifting { theta = 0.5; every = 0 }) ());
+  raises "Workload.ycsb: period must be >= 1" (fun () ->
+      run ~arrivals:(Workload.Diurnal { period = 0; trough = 0.5 }) ());
+  raises "Workload.ycsb: trough must be in [0, 1]" (fun () ->
+      run ~arrivals:(Workload.Diurnal { period = 10; trough = 1.5 }) ());
+  raises "Workload.ycsb: magnitude must be >= 1" (fun () ->
+      run ~arrivals:(Workload.Flash { at = 5; magnitude = 0.5; width = 2 }) ());
+  raises "Workload.ycsb: width must be >= 1" (fun () ->
+      run ~arrivals:(Workload.Flash { at = 5; magnitude = 2.0; width = 0 }) ());
+  raises "Workload.ycsb: flash slot must be >= 0" (fun () ->
+      run ~arrivals:(Workload.Flash { at = -1; magnitude = 2.0; width = 2 }) ())
+
+(* ------------------------------------------------------------------ *)
 (* Transport streaming                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -1073,6 +1520,38 @@ let () =
           Alcotest.test_case "occurrences per period" `Quick
             test_drive_occurrences_per_period;
           Alcotest.test_case "validation" `Quick test_drive_validation;
+        ] );
+      ( "cohort",
+        [
+          Alcotest.test_case "run equals drive (programs x faults x seeds)"
+            `Quick test_cohort_run_equals_drive;
+          Alcotest.test_case "run equals drive under max_slots" `Quick
+            test_cohort_run_equals_drive_max_slots;
+          Alcotest.test_case "prep reuse" `Quick test_cohort_prep_reuse;
+          Alcotest.test_case "classes of trace" `Quick
+            test_cohort_classes_of_trace;
+          Alcotest.test_case "population no-loss equals drive" `Quick
+            test_cohort_population_no_loss_equals_drive;
+          Alcotest.test_case "population mass conservation" `Quick
+            test_cohort_population_mass_conservation;
+          Alcotest.test_case "analytic close to sampled" `Quick
+            test_cohort_population_analytic_close_to_sampled;
+          Alcotest.test_case "population validation" `Quick
+            test_cohort_population_validation;
+          QCheck_alcotest.to_alcotest prop_cohort_permutation_invariant;
+        ] );
+      ( "ycsb",
+        [
+          Alcotest.test_case "deterministic and sorted" `Quick
+            test_ycsb_deterministic;
+          Alcotest.test_case "zipfian skew (chi-squared)" `Quick
+            test_ycsb_zipfian_skew;
+          Alcotest.test_case "hotspot shares" `Quick test_ycsb_hotspot;
+          Alcotest.test_case "shifting rotates" `Quick
+            test_ycsb_shifting_rotates;
+          Alcotest.test_case "diurnal wave" `Quick test_ycsb_diurnal_wave;
+          Alcotest.test_case "flash crowd" `Quick test_ycsb_flash_crowd;
+          Alcotest.test_case "validation" `Quick test_ycsb_validation;
         ] );
       ( "streaming",
         [

@@ -177,6 +177,50 @@ let test_stats_variance_large_offset () =
   List.iter (fun _ -> Stats.add c 1e9) [ (); (); () ];
   Alcotest.(check (float 0.0)) "constant variance" 0.0 (Stats.variance c)
 
+let test_stats_weighted_basics () =
+  let s = Stats.create () in
+  Stats.add_weighted s 2.0 3;
+  Stats.add_weighted s 5.0 1;
+  Stats.add_weighted s 4.0 0;
+  (* weight 0: no-op *)
+  check_int "count is total weight" 4 (Stats.count s);
+  Alcotest.(check (float 1e-9)) "total" 11.0 (Stats.total s);
+  Alcotest.(check (float 1e-9)) "mean" 2.75 (Stats.mean s);
+  Alcotest.(check (float 1e-9)) "min" 2.0 (Stats.min_value s);
+  Alcotest.(check (float 1e-9)) "max" 5.0 (Stats.max_value s);
+  Alcotest.(check (float 1e-9)) "median" 2.0 (Stats.median s);
+  Alcotest.check_raises "negative weight"
+    (Invalid_argument "Stats.add_weighted: negative weight") (fun () ->
+      Stats.add_weighted s 1.0 (-1))
+
+let prop_stats_weighted_equals_expanded =
+  (* add_weighted x w must be indistinguishable from w calls to add x —
+     the cohort engine's O(1) class accounting rests on this. *)
+  QCheck2.Test.make ~name:"weighted equals expanded" ~count:200
+    QCheck2.Gen.(
+      list_size (int_range 1 12)
+        (pair (float_bound_inclusive 50.0) (int_range 0 9)))
+    (fun entries ->
+      let w = Stats.create () and e = Stats.create () in
+      List.iter
+        (fun (x, n) ->
+          Stats.add_weighted w x n;
+          for _ = 1 to n do
+            Stats.add e x
+          done)
+        entries;
+      Stats.count w = Stats.count e
+      && abs_float (Stats.total w -. Stats.total e) < 1e-9
+      && (Stats.count w = 0
+         || abs_float (Stats.variance w -. Stats.variance e) < 1e-9
+            && Stats.min_value w = Stats.min_value e
+            && Stats.max_value w = Stats.max_value e
+            && List.for_all
+                 (fun p ->
+                   abs_float (Stats.percentile w p -. Stats.percentile e p)
+                   < 1e-9)
+                 [ 0.0; 10.0; 50.0; 90.0; 99.0; 100.0 ]))
+
 (* ------------------------------------------------------------------ *)
 (* mix64                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -349,6 +393,8 @@ let () =
           Alcotest.test_case "histogram" `Quick test_stats_histogram;
           Alcotest.test_case "variance at large offset" `Quick
             test_stats_variance_large_offset;
+          Alcotest.test_case "weighted basics" `Quick
+            test_stats_weighted_basics;
         ] );
       ( "mix64",
         [
@@ -369,7 +415,8 @@ let () =
           Alcotest.test_case "empty and bad inputs" `Quick test_pool_empty_and_bad;
         ] );
       ( "stats-properties",
-        List.map QCheck_alcotest.to_alcotest [ prop_stats_percentiles_monotone ] );
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_stats_percentiles_monotone; prop_stats_weighted_equals_expanded ] );
       ( "q-properties",
         List.map QCheck_alcotest.to_alcotest
           [
