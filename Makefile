@@ -1,4 +1,4 @@
-.PHONY: all build test test-force test-metrics bench bench-tables bench-micro bench-codec bench-obs bench-sched bench-chaos bench-cohort bench-gate chaos lint tsan examples audit doc clean
+.PHONY: all build test test-force test-metrics bench bench-tables bench-micro bench-codec bench-obs bench-sched bench-chaos bench-cohort bench-multichannel bench-gate chaos lint tsan examples audit doc clean
 
 all: build
 
@@ -45,6 +45,11 @@ bench-chaos:
 bench-cohort:
 	PINDISK_COHORT_QUICK=1 dune exec bench/main.exe -- e23
 
+# Multi-channel sharding sweep (E24): aggregate files served and cohort
+# clients at K = 1, 2, 4, 8 channels; writes BENCH_multichannel.json.
+bench-multichannel:
+	PINDISK_MULTICHANNEL_QUICK=1 dune exec bench/main.exe -- e24
+
 # Scripted chaos-scenario suite: crashes with restart-from-checkpoint,
 # stuck readers, loss bursts under fixed seeds; fails on any recovery
 # invariant violation. Writes chaos_summary.md (the CI artifact).
@@ -54,7 +59,7 @@ chaos:
 # Benchmark-regression gate: compare fresh quick-mode runs against the
 # committed baselines (bench/baselines/), failing on regression beyond
 # the tolerance band. Writes bench_gate_summary.md.
-bench-gate: bench-sched bench-codec bench-chaos bench-cohort
+bench-gate: bench-sched bench-codec bench-chaos bench-cohort bench-multichannel
 	dune exec scripts/bench_gate.exe -- \
 	  --kind sched --fresh BENCH_sched.json \
 	  --baseline bench/baselines/BENCH_sched.baseline.json \
@@ -70,6 +75,10 @@ bench-gate: bench-sched bench-codec bench-chaos bench-cohort
 	dune exec scripts/bench_gate.exe -- \
 	  --kind cohort --fresh BENCH_cohort.json \
 	  --baseline bench/baselines/BENCH_cohort.baseline.json \
+	  --summary bench_gate_summary.md --append
+	dune exec scripts/bench_gate.exe -- \
+	  --kind multichannel --fresh BENCH_multichannel.json \
+	  --baseline bench/baselines/BENCH_multichannel.baseline.json \
 	  --summary bench_gate_summary.md --append
 
 # Full test suite with metrics recording force-enabled (determinism

@@ -31,6 +31,7 @@ let experiments =
     ("e21", "Scheduling scale: online dispatcher vs eager", Exp_sched.run);
     ("e22", "Chaos recovery: crash-restart cost vs fault rate", Exp_faults.run_chaos);
     ("e23", "Cohort scale: weighted classes vs per-client drive", Exp_cohort.run);
+    ("e24", "Multi-channel sharding: aggregate throughput at K channels", Exp_multichannel.run);
   ]
 
 let () =

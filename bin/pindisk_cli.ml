@@ -32,6 +32,10 @@ module Program = Pindisk.Program
 module Bc = Pindisk_algebra.Bc
 module Convert = Pindisk_algebra.Convert
 module Q = Pindisk_util.Q
+module Channels = P.Channels
+module Shard = Pindisk.Shard
+module Shardcheck = Pindisk_check.Shardcheck
+module Multi = Pindisk_sim.Multi
 
 let fail fmt = Format.kasprintf (fun s -> `Error (false, s)) fmt
 
@@ -105,6 +109,30 @@ let collect parse l =
   in
   go 0 [] l
 
+(* ---------------- multi-channel arguments ---------------- *)
+
+let channels_arg =
+  let doc =
+    "Shard across $(docv) parallel broadcast channels (density-balanced \
+     LPT packing; 1 is the unchanged single-channel pipeline)."
+  in
+  Arg.(value & opt int 1 & info [ "channels" ] ~docv:"K" ~doc)
+
+let tuners_arg =
+  let doc = "Tuners per client (multi-channel simulation only)." in
+  Arg.(value & opt int 1 & info [ "tuners" ] ~docv:"T" ~doc)
+
+(* Per-channel bandwidth for sharded designs: the smallest rate at which
+   every file individually fits a channel, ceil((m+r)/T) maximised over
+   the files — deterministic, and independent of K so K sweeps compare
+   like with like. *)
+let shard_bandwidth files =
+  List.fold_left
+    (fun acc f ->
+      let need = f.File_spec.blocks + f.File_spec.tolerance in
+      max acc ((need + f.File_spec.latency - 1) / f.File_spec.latency))
+    1 files
+
 (* ---------------- schedule ---------------- *)
 
 let algorithm_arg =
@@ -137,10 +165,38 @@ let pp_slots ppf slots =
       else Format.fprintf ppf "%d" v)
     slots
 
+(* K > 1: partition the system with the channel optimizer and print one
+   schedule per shard. K = 1 stays on the single-channel path below,
+   byte for byte. *)
+let schedule_multichannel ~channels ~algorithm sys =
+  let t = Channels.plan ~algorithm ~channels sys in
+  Format.printf "channels: %d@." channels;
+  List.iter
+    (fun (s : Channels.shard) ->
+      Format.printf "channel %d: %a@.  density: %a@." s.Channels.channel
+        Task.pp_system s.Channels.tasks Q.pp s.Channels.density;
+      if s.Channels.tasks <> [] then
+        let sched = P.Plan.to_schedule s.Channels.plan in
+        Format.printf "  schedule (period %d): %a@." (Schedule.period sched)
+          Schedule.pp sched
+      else Format.printf "  schedule: (idle)@.")
+    t.Channels.shards;
+  (match t.Channels.shed with
+  | [] -> ()
+  | shed -> Format.printf "shed: %a@." Task.pp_system shed);
+  `Ok ()
+
 let schedule_cmd =
-  let run tasks algorithm online =
+  let run tasks algorithm online channels =
     match collect parse_task tasks with
     | Error e -> fail "%s" e
+    | Ok sys when channels < 1 ->
+        ignore sys;
+        fail "channels must be >= 1"
+    | Ok sys when channels > 1 ->
+        Format.printf "system: %a@.density: %a@." Task.pp_system sys Q.pp
+          (Task.system_density sys);
+        schedule_multichannel ~channels ~algorithm sys
     | Ok sys -> (
         Format.printf "system: %a@.density: %a@." Task.pp_system sys Q.pp
           (Task.system_density sys);
@@ -177,7 +233,7 @@ let schedule_cmd =
     Term.(
       ret
         (const (fun () -> run)
-        $ setup_logs $ tasks_arg $ algorithm_arg $ online_arg))
+        $ setup_logs $ tasks_arg $ algorithm_arg $ online_arg $ channels_arg))
 
 (* ---------------- sched-bench ---------------- *)
 
@@ -999,11 +1055,125 @@ let simulate_cohort ~program ~bandwidth ~loss ~seed ~clients files =
     (SimStats.mean r.SimEngine.latency);
   Format.printf "  losses absorbed: %d@." r.SimEngine.losses
 
+(* The sharded analogue of [simulate_cohort]: members spread over every
+   file (admitted or shed — a shed file's clients all miss) at up to 16
+   phases, folded per channel. Analytic under Bernoulli, so the output
+   is a stable golden (test/cli/multichannel.t). *)
+let simulate_multi_cohort ~design ~tuners ~loss ~seed ~clients files =
+  let phases = 16 in
+  let per_class = max 1 (clients / (List.length files * phases)) in
+  let members =
+    List.concat_map
+      (fun f ->
+        List.init phases (fun i ->
+            {
+              Multi.issued = i;
+              file = f.File_spec.id;
+              needed = f.File_spec.blocks;
+              deadline = File_spec.window f ~bandwidth:design.Shard.bandwidth;
+              weight = per_class;
+            }))
+      files
+  in
+  let r =
+    Multi.run_population ~design ~tuners
+      ~model:(fun ~channel:_ -> Pindisk_sim.Cohort.Bernoulli { p = loss })
+      ~seed members
+  in
+  Format.printf "cohort: %d clients in %d classes (per-channel fold)@."
+    r.SimEngine.requests (List.length members);
+  Format.printf "  %-12s %9s %9s %9s %9s@." "file" "requests" "missed" "miss%"
+    "mean wait";
+  List.iter
+    (fun f ->
+      match
+        List.find_opt
+          (fun (pf : SimEngine.file_stats) ->
+            pf.SimEngine.file = f.File_spec.id)
+          r.SimEngine.per_file
+      with
+      | None -> ()
+      | Some pf ->
+          Format.printf "  %-12s %9d %9d %8.1f%% %9.2f@." f.File_spec.name
+            pf.SimEngine.requests pf.SimEngine.missed
+            (100.0 *. SimEngine.file_miss_ratio pf)
+            (SimStats.mean pf.SimEngine.latency))
+    files;
+  Format.printf "  %-12s %9d %9d %8.1f%% %9.2f@." "overall"
+    r.SimEngine.requests r.SimEngine.missed
+    (100.0 *. SimEngine.miss_ratio r)
+    (SimStats.mean r.SimEngine.latency);
+  Format.printf "  losses absorbed: %d@." r.SimEngine.losses
+
+(* Per-request sampled run over the sharded design: [trials] clients per
+   file, issue slots spread one per slot, per-channel fault processes. *)
+let simulate_multi_trials ~design ~tuners ~loss ~trials ~seed files =
+  let trace =
+    List.concat_map
+      (fun f ->
+        List.init trials (fun k ->
+            {
+              Pindisk_sim.Workload.issued = k;
+              file = f.File_spec.id;
+              needed = f.File_spec.blocks;
+              deadline = File_spec.window f ~bandwidth:design.Shard.bandwidth;
+            }))
+      files
+  in
+  let r =
+    Multi.run ~design ~tuners
+      ~fault:(fun ~channel:_ ~seed -> Pindisk_sim.Fault.bernoulli ~p:loss ~seed)
+      ~seed trace
+  in
+  List.iter
+    (fun f ->
+      match
+        List.find_opt
+          (fun (pf : SimEngine.file_stats) ->
+            pf.SimEngine.file = f.File_spec.id)
+          r.SimEngine.per_file
+      with
+      | None -> ()
+      | Some pf ->
+          Format.printf "  %-12s %9d %9d %8.1f%% %9.2f@." f.File_spec.name
+            pf.SimEngine.requests pf.SimEngine.missed
+            (100.0 *. SimEngine.file_miss_ratio pf)
+            (SimStats.mean pf.SimEngine.latency))
+    files;
+  Format.printf "  %-12s %9d %9d %8.1f%% %9.2f@." "overall"
+    r.SimEngine.requests r.SimEngine.missed
+    (100.0 *. SimEngine.miss_ratio r)
+    (SimStats.mean r.SimEngine.latency)
+
+let simulate_multichannel ~channels ~tuners ~loss ~trials ~seed ~cohort
+    ~clients files =
+  let bandwidth = shard_bandwidth files in
+  match Shard.design ~channels ~bandwidth files with
+  | Error e -> fail "%s" e
+  | Ok design ->
+      Format.printf
+        "channels %d, per-channel bandwidth %d, tuners %d, loss rate %.0f%%@."
+        channels bandwidth tuners (100.0 *. loss);
+      Format.printf "%a@." Shard.pp design;
+      let check = Shardcheck.run design in
+      (match Shardcheck.problems check with
+      | [] -> Format.printf "shardcheck: ok@."
+      | ps -> List.iter (fun p -> Format.printf "shardcheck: %s@." p) ps);
+      if cohort then
+        simulate_multi_cohort ~design ~tuners ~loss ~seed ~clients files
+      else simulate_multi_trials ~design ~tuners ~loss ~trials ~seed files;
+      `Ok ()
+
 let simulate_cmd =
-  let run files loss trials seed cohort clients metrics =
+  let run files loss trials seed cohort clients channels tuners metrics =
     with_metrics metrics @@ fun () ->
     match collect parse_file files with
     | Error e -> fail "%s" e
+    | Ok _ when channels < 1 -> fail "channels must be >= 1"
+    | Ok _ when tuners < 1 -> fail "tuners must be >= 1"
+    | Ok files when channels > 1 ->
+        simulate_multichannel ~channels ~tuners ~loss ~trials ~seed ~cohort
+          ~clients files
     | Ok files -> (
         match Program.auto files with
         | None -> fail "not schedulable"
@@ -1053,9 +1223,61 @@ let simulate_cmd =
       ret
         (const (fun () -> run)
         $ setup_logs $ files_arg $ loss $ trials $ seed $ cohort $ clients
-        $ metrics_arg))
+        $ channels_arg $ tuners_arg $ metrics_arg))
 
 (* ---------------- chaos ---------------- *)
+
+(* The multi-channel outage drill: shard a canned population over K
+   channels, certify it, kill channel 0, evacuate through the ladder's
+   Migrate rung, and certify the surviving design (stranded files shed).
+   Deterministic end to end. *)
+let chaos_channels channels =
+  let files =
+    List.init 8 (fun i ->
+        File_spec.make
+          ~name:(Printf.sprintf "f%d" i)
+          ~id:i ~blocks:2 ~latency:8
+          ~tolerance:(if i < 2 then 2 else 0)
+          ())
+  in
+  match Shard.design ~channels ~bandwidth:1 files with
+  | Error e -> fail "%s" e
+  | Ok design -> (
+      Format.printf "drill: %d files over %d channels@." (List.length files)
+        channels;
+      Format.printf "%a@." Shard.pp design;
+      let before = Shardcheck.run design in
+      Format.printf "shardcheck before outage: %s@."
+        (if Shardcheck.ok before then "ok" else "VIOLATED");
+      let rungs, stranded = Pindisk_adapt.Ladder.evacuate design ~channel:0 in
+      Format.printf "channel 0 fails: %d migration(s), %d stranded@."
+        (List.length rungs) (List.length stranded);
+      List.iter
+        (fun r -> Format.printf "  %a@." Pindisk_adapt.Ladder.pp_rung r)
+        rungs;
+      let survivors =
+        List.filter
+          (fun (f : File_spec.t) ->
+            (not (List.mem f.File_spec.id stranded))
+            && List.exists
+                 (fun (p : Shard.placement) -> p.Shard.file = f.File_spec.id)
+                 design.Shard.placements)
+          files
+      in
+      match Shard.design ~channels:(channels - 1) ~bandwidth:1 survivors with
+      | Error e -> fail "re-design failed: %s" e
+      | Ok recovered ->
+          let after = Shardcheck.run recovered in
+          Format.printf
+            "recovered design: %d channel(s), %d file(s) served, %d shed@."
+            (channels - 1)
+            (List.length recovered.Shard.specs)
+            (List.length recovered.Shard.shed);
+          if Shardcheck.ok before && Shardcheck.ok after then begin
+            Format.printf "drill: recovery certified@.";
+            `Ok ()
+          end
+          else fail "drill: recovered design fails certification")
 
 let chaos_cmd =
   let module Scenario = Pindisk_store.Scenario in
@@ -1085,9 +1307,10 @@ let chaos_cmd =
     end;
     close_out oc
   in
-  let run list only summary metrics =
+  let run list only summary channels metrics =
     with_metrics metrics @@ fun () ->
-    if list then begin
+    if channels > 1 then chaos_channels channels
+    else if list then begin
       List.iter
         (fun s -> Format.printf "%s@." s.Scenario.name)
         (Scenario.suite ());
@@ -1136,7 +1359,7 @@ let chaos_cmd =
        ~doc:"Scripted fault-injection scenarios with recovery invariants")
     Term.(
       ret (const (fun () -> run) $ setup_logs $ list $ only $ summary
-           $ metrics_arg))
+           $ channels_arg $ metrics_arg))
 
 let () =
   let info =

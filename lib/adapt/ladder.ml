@@ -10,6 +10,7 @@ type rung =
   | Boost of int
   | Mode_switch of string
   | Shed of Item.t list
+  | Migrate of { file : int; from_channel : int; to_channel : int }
 
 let pp_rung ppf = function
   | Baseline -> Format.fprintf ppf "baseline"
@@ -18,6 +19,80 @@ let pp_rung ppf = function
   | Shed items ->
       Format.fprintf ppf "shed:%d item(s) [%s]" (List.length items)
         (String.concat "," (List.map (fun i -> i.Item.name) items))
+  | Migrate { file; from_channel; to_channel } ->
+      Format.fprintf ppf "migrate:file %d: channel %d -> %d" file from_channel
+        to_channel
+
+(* Channel-outage response: re-place every share of the failing channel
+   onto the least-loaded surviving channel that stays plausibly feasible,
+   committing loads as we go; shares that fit nowhere are stranded. *)
+let evacuate (design : Pindisk.Shard.t) ~channel =
+  let module P = Pindisk_pinwheel in
+  let module Q = Pindisk_util.Q in
+  let module Shard = Pindisk.Shard in
+  let module File_spec = Pindisk.File_spec in
+  let k = Array.length design.Shard.channels in
+  if channel < 0 || channel >= k then
+    invalid_arg "Ladder.evacuate: no such channel";
+  let window f = File_spec.window f ~bandwidth:design.Shard.bandwidth in
+  let spec_of id =
+    List.find (fun f -> f.File_spec.id = id) design.Shard.specs
+  in
+  let load = Array.make k Q.zero in
+  let members : P.Task.t list array = Array.make k [] in
+  List.iter
+    (fun (p : Shard.placement) ->
+      let f = spec_of p.Shard.file in
+      let task =
+        P.Task.make ~id:p.Shard.file ~a:(Array.length p.Shard.pieces)
+          ~b:(window f)
+      in
+      load.(p.Shard.channel) <- Q.add load.(p.Shard.channel) (P.Task.density task);
+      members.(p.Shard.channel) <- task :: members.(p.Shard.channel))
+    design.Shard.placements;
+  let evicted =
+    design.Shard.placements
+    |> List.filter (fun (p : Shard.placement) -> p.Shard.channel = channel)
+    |> List.stable_sort (fun (a : Shard.placement) b ->
+           let d (p : Shard.placement) =
+             Q.make (Array.length p.Shard.pieces) (window (spec_of p.Shard.file))
+           in
+           Q.compare (d b) (d a))
+  in
+  let rungs = ref [] and stranded = ref [] in
+  List.iter
+    (fun (p : Shard.placement) ->
+      let f = spec_of p.Shard.file in
+      let task =
+        P.Task.make ~id:p.Shard.file ~a:(Array.length p.Shard.pieces)
+          ~b:(window f)
+      in
+      let holds c =
+        List.exists
+          (fun (q : Shard.placement) ->
+            q.Shard.file = p.Shard.file && q.Shard.channel = c)
+          design.Shard.placements
+      in
+      let candidates =
+        List.init k Fun.id
+        |> List.filter (fun c -> c <> channel && not (holds c))
+        |> List.stable_sort (fun a b -> Q.compare load.(a) load.(b))
+      in
+      let feasible c =
+        match P.Density.classify (task :: members.(c)) with
+        | P.Density.Infeasible _ -> false
+        | P.Density.Guaranteed _ | P.Density.Unknown -> true
+      in
+      match List.find_opt feasible candidates with
+      | Some c ->
+          load.(c) <- Q.add load.(c) (P.Task.density task);
+          members.(c) <- task :: members.(c);
+          rungs :=
+            Migrate { file = p.Shard.file; from_channel = channel; to_channel = c }
+            :: !rungs
+      | None -> stranded := p.Shard.file :: !stranded)
+    evicted;
+  (List.rev !rungs, List.rev !stranded)
 
 type plan = {
   rung : rung;

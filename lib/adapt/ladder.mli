@@ -28,8 +28,25 @@ type rung =
   | Boost of int  (** base mode with raised redundancy *)
   | Mode_switch of string  (** named fallback mode (boosted) *)
   | Shed of Item.t list  (** items dropped by admission control *)
+  | Migrate of { file : int; from_channel : int; to_channel : int }
+      (** multi-channel deployments only: move one file's share off a
+          failing channel (see {!evacuate}) *)
 
 val pp_rung : Format.formatter -> rung -> unit
+
+val evacuate : Pindisk.Shard.t -> channel:int -> rung list * int list
+(** The channel-migration rung for a sharded deployment: when a channel
+    fails (or is about to be drained), propose one {!Migrate} per share
+    it carries, each targeting the currently least-loaded {e other}
+    channel that (a) does not already carry a share of the same file and
+    (b) stays plausibly feasible after absorbing the share's density
+    ({!Pindisk_pinwheel.Density.classify} not [Infeasible]). Targets are
+    chosen share-by-share in decreasing share density, each commitment
+    updating the load picture — so a burst of migrations is
+    self-consistent. The second component lists stranded files: shares no
+    surviving channel can absorb, which the caller sheds (the next rung
+    down, exactly as in the single-channel ladder). Raises
+    [Invalid_argument] on an unknown channel. *)
 
 type plan = {
   rung : rung;

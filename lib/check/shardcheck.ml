@@ -1,0 +1,215 @@
+module P = Pindisk_pinwheel
+module Q = Pindisk_util.Q
+module Shard = Pindisk.Shard
+module File_spec = Pindisk.File_spec
+module Program = Pindisk.Program
+
+type channel_report = {
+  channel : int;
+  files : int;
+  period : int;
+  density : Q.t;
+  witnessed : bool;
+}
+
+type file_report = {
+  file : int;
+  name : string;
+  capacity : int;
+  channels : int list;
+  covered : bool;
+  disjoint : bool;
+  outage_tolerant : bool;
+}
+
+type t = {
+  channels : channel_report list;
+  files : file_report list;
+  shed : int list;
+  stripe : int;
+}
+
+(* Densities are recomputed from the placement map — share size over the
+   file's window — not read off the channel record, so a lying optimizer
+   is caught by arithmetic, not echoed. *)
+let channel_density (design : Shard.t) c =
+  List.fold_left
+    (fun acc (p : Shard.placement) ->
+      if p.Shard.channel <> c then acc
+      else
+        let spec =
+          List.find
+            (fun f -> f.File_spec.id = p.Shard.file)
+            design.Shard.specs
+        in
+        Q.add acc
+          (Q.make (Array.length p.Shard.pieces)
+             (File_spec.window spec ~bandwidth:design.Shard.bandwidth)))
+    Q.zero design.Shard.placements
+
+let channel_tasks (design : Shard.t) c =
+  List.filter_map
+    (fun (f : File_spec.t) ->
+      design.Shard.placements
+      |> List.find_opt (fun (p : Shard.placement) ->
+             p.Shard.file = f.File_spec.id && p.Shard.channel = c)
+      |> Option.map (fun (p : Shard.placement) ->
+             P.Task.make ~id:f.File_spec.id
+               ~a:(Array.length p.Shard.pieces)
+               ~b:(File_spec.window f ~bandwidth:design.Shard.bandwidth)))
+    design.Shard.specs
+
+let check_channel (design : Shard.t) (ch : Shard.channel) =
+  let tasks = channel_tasks design ch.Shard.index in
+  let schedule = Program.schedule ch.Shard.program in
+  {
+    channel = ch.Shard.index;
+    files = List.length tasks;
+    period = P.Schedule.period schedule;
+    density = channel_density design ch.Shard.index;
+    witnessed = tasks = [] || P.Verify.satisfies schedule tasks;
+  }
+
+let check_file (design : Shard.t) (f : File_spec.t) =
+  let ps = Shard.placements_of design f.File_spec.id in
+  let chans = List.map (fun (p : Shard.placement) -> p.Shard.channel) ps in
+  let pieces =
+    List.concat_map
+      (fun (p : Shard.placement) -> Array.to_list p.Shard.pieces)
+      ps
+  in
+  let sorted = List.sort compare pieces in
+  {
+    file = f.File_spec.id;
+    name = f.File_spec.name;
+    capacity = f.File_spec.capacity;
+    channels = List.sort compare chans;
+    covered = sorted = List.init f.File_spec.capacity Fun.id;
+    disjoint =
+      List.length (List.sort_uniq compare pieces) = List.length pieces
+      && List.length (List.sort_uniq compare chans) = List.length chans;
+    outage_tolerant = Shard.outage_tolerant design f.File_spec.id;
+  }
+
+let run (design : Shard.t) =
+  {
+    channels =
+      Array.to_list (Array.map (check_channel design) design.Shard.channels);
+    files =
+      design.Shard.specs
+      |> List.map (check_file design)
+      |> List.sort (fun a b -> compare a.file b.file);
+    shed =
+      List.sort compare
+        (List.map (fun f -> f.File_spec.id) design.Shard.shed);
+    stripe = design.Shard.stripe;
+  }
+
+let problems t =
+  List.concat
+    [
+      List.filter_map
+        (fun c ->
+          if not c.witnessed then
+            Some
+              (Printf.sprintf "channel %d: schedule fails its sub-task system"
+                 c.channel)
+          else None)
+        t.channels;
+      List.filter_map
+        (fun c ->
+          if Q.( > ) c.density Q.one then
+            Some
+              (Printf.sprintf "channel %d: density above one (infeasible)"
+                 c.channel)
+          else None)
+        t.channels;
+      List.concat_map
+        (fun (f : file_report) ->
+          List.filter_map Fun.id
+            [
+              (if f.channels = [] then
+                 Some (Printf.sprintf "file %d: served by no channel" f.file)
+               else None);
+              (if not f.covered then
+                 Some
+                   (Printf.sprintf
+                      "file %d: shares do not cover pieces 0..%d" f.file
+                      (f.capacity - 1))
+               else None);
+              (if not f.disjoint then
+                 Some
+                   (Printf.sprintf
+                      "file %d: overlapping shares or duplicated channel"
+                      f.file)
+               else None);
+            ])
+        t.files;
+    ]
+
+let ok t = problems t = []
+
+let q_to_json (q : Q.t) = Json.Obj [ ("num", Json.Int q.Q.num); ("den", Json.Int q.Q.den) ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("stripe", Json.Int t.stripe);
+      ( "channels",
+        Json.List
+          (List.map
+             (fun c ->
+               Json.Obj
+                 [
+                   ("channel", Json.Int c.channel);
+                   ("files", Json.Int c.files);
+                   ("period", Json.Int c.period);
+                   ("density", q_to_json c.density);
+                   ("witnessed", Json.Bool c.witnessed);
+                 ])
+             t.channels) );
+      ( "files",
+        Json.List
+          (List.map
+             (fun f ->
+               Json.Obj
+                 [
+                   ("file", Json.Int f.file);
+                   ("name", Json.Str f.name);
+                   ("capacity", Json.Int f.capacity);
+                   ("channels", Json.List (List.map (fun c -> Json.Int c) f.channels));
+                   ("covered", Json.Bool f.covered);
+                   ("disjoint", Json.Bool f.disjoint);
+                   ("outage_tolerant", Json.Bool f.outage_tolerant);
+                 ])
+             t.files) );
+      ("shed", Json.List (List.map (fun i -> Json.Int i) t.shed));
+      ("problems", Json.List (List.map (fun p -> Json.Str p) (problems t)));
+      ("ok", Json.Bool (ok t));
+    ]
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "channel %d: %d file(s), period %d, density %a, %s@,"
+        c.channel c.files c.period Q.pp c.density
+        (if c.witnessed then "witnessed" else "NOT WITNESSED"))
+    t.channels;
+  List.iter
+    (fun f ->
+      Format.fprintf ppf "file %d (%s): channels %s%s%s%s@," f.file f.name
+        (String.concat "," (List.map string_of_int f.channels))
+        (if f.covered then "" else ", NOT COVERED")
+        (if f.disjoint then "" else ", OVERLAP")
+        (if f.outage_tolerant then ", outage-tolerant" else ""))
+    t.files;
+  (match t.shed with
+  | [] -> ()
+  | shed ->
+      Format.fprintf ppf "shed: %s@,"
+        (String.concat "," (List.map string_of_int shed)));
+  Format.fprintf ppf "%s@]"
+    (match problems t with
+    | [] -> "shardcheck: ok"
+    | ps -> Printf.sprintf "shardcheck: %d problem(s)" (List.length ps))

@@ -1,0 +1,101 @@
+(** Multi-channel broadcast sharding: one design, K parallel programs.
+
+    {!Pindisk_pinwheel.Channels} partitions raw pinwheel tasks; this
+    module is the file-level layer above it. Given broadcast files and K
+    channels of equal [bandwidth], it assigns every file's dispersed
+    pieces to channels, plans each channel with the single-channel
+    pipeline, and emits K independent broadcast {!Program}s plus the
+    placement map — the slot coordinate of the sharded server is
+    [(channel, slot)], and {!block_at} resolves it to a {e global}
+    dispersed-piece index.
+
+    {b Piece striping.} With [stripe = 1] (the default) every file lives
+    on exactly one channel, as in the single-channel paper model. With
+    [stripe = s > 1] a file's [N_i] dispersed pieces are dealt
+    round-robin over [s] {e distinct} channels (piece [k] to stripe
+    member [k mod s]); the member holding [n_j] pieces carries the
+    pinwheel sub-task [(i, n_j, B·T_i)], so any latency window still airs
+    all [N_i] distinct pieces across the stripe set, and the file's
+    guarantee follows from the per-channel guarantees exactly as in the
+    single-channel proof. Striping is what makes a whole-channel outage
+    {e degrade} a file instead of destroying it: losing one channel
+    removes at most [max_j n_j] pieces, so reconstruction survives
+    whenever [N_i - max_j n_j >= m_i] ({!outage_tolerant}) — the
+    Goemans–Lynch–Saias motivation for placing IDA pieces across
+    channels.
+
+    {b Placement.} Files are packed in decreasing density by LPT onto the
+    least-loaded channels (stripe members onto distinct channels, larger
+    shares to lighter channels), each placement guarded by the shard's
+    {!Pindisk_pinwheel.Density} pre-check; files no channel set can take,
+    and files a shard's scheduler subsequently rejects, are shed — a
+    feasible design sheds nothing.
+
+    {b K = 1, stripe = 1 is the identity}: the design is exactly
+    [Program.pinwheel ~bandwidth files] — same task system, same
+    scheduler call, same program bytes. The test suite pins this. *)
+
+module P = Pindisk_pinwheel
+
+type placement = {
+  file : int;
+  channel : int;
+  pieces : int array;
+      (** ascending global piece indices this channel airs; the channel's
+          local block index [i] cycles [pieces.(i)] *)
+}
+
+type channel = {
+  index : int;
+  tasks : P.Task.system;  (** per-channel sub-tasks, original file order *)
+  density : Pindisk_util.Q.t;
+  plan : P.Plan.t;
+  program : Program.t;  (** capacities are the local share sizes *)
+}
+
+type t = {
+  channels : channel array;  (** length K, index [c] is channel [c] *)
+  placements : placement list;  (** ascending by (file, channel) *)
+  specs : File_spec.t list;  (** admitted files, original order *)
+  shed : File_spec.t list;  (** files no channel could serve *)
+  bandwidth : int;  (** per-channel, blocks/sec *)
+  stripe : int;
+}
+
+val design :
+  ?stripe:int ->
+  ?algorithm:P.Scheduler.algorithm ->
+  channels:int ->
+  bandwidth:int ->
+  File_spec.t list ->
+  (t, string) result
+(** Shard the files over [channels] channels of [bandwidth] blocks/sec
+    each, striping each file over [min stripe channels] (further capped
+    by its capacity) channels. [Error] only on structurally bad input
+    (no files, duplicate ids); an unschedulable file is shed, not an
+    error. Raises [Invalid_argument] if [channels < 1] or [stripe < 1]. *)
+
+val block_at : t -> channel:int -> int -> (int * int) option
+(** [(file, global piece index)] aired by a channel at a slot, [None]
+    when idle. The global index is what a multi-tuner client collects:
+    distinct across channels by the round-robin dealing. *)
+
+val placements_of : t -> int -> placement list
+(** A file's placements, ascending by channel; [[]] for shed/unknown. *)
+
+val channels_of : t -> int -> int list
+(** Channels airing a file, by decreasing share size (ties: lower
+    channel first) — the order a client with fewer tuners than stripe
+    members should prefer. *)
+
+val outage_tolerant : t -> int -> bool
+(** Whether the file reconstructs ([>= m] pieces still on air) after the
+    outage of any single channel. Single-channel placements are never
+    outage tolerant. *)
+
+val aggregate_density : t -> Pindisk_util.Q.t
+(** Sum of per-channel densities — the served broadcast demand; scales
+    toward [K ·] the single-channel budget as K grows. *)
+
+val pp : Format.formatter -> t -> unit
+(** One line per channel (density, files) plus shed files. *)

@@ -114,3 +114,45 @@ let retire ~sinks rows =
         per_file []
       |> List.sort (fun (a : file_stats) b -> compare a.file b.file);
   }
+
+let merge_stats a b =
+  let s = Stats.create () in
+  Stats.absorb s a;
+  Stats.absorb s b;
+  s
+
+let copy_stats a =
+  let s = Stats.create () in
+  Stats.absorb s a;
+  s
+
+let merge_file (a : file_stats) (b : file_stats) =
+  {
+    file = a.file;
+    requests = a.requests + b.requests;
+    missed = a.missed + b.missed;
+    latency = merge_stats a.latency b.latency;
+  }
+
+(* Merge-join two ascending per-file lists; a file on one side only is
+   still re-absorbed into a fresh accumulator so the merged result never
+   aliases either input's mutable state. *)
+let rec merge_per_file (xs : file_stats list) (ys : file_stats list) =
+  match (xs, ys) with
+  | [], rest | rest, [] ->
+      List.map (fun (f : file_stats) -> { f with latency = copy_stats f.latency }) rest
+  | x :: xs', y :: ys' ->
+      if x.file = y.file then merge_file x y :: merge_per_file xs' ys'
+      else if x.file < y.file then
+        { x with latency = copy_stats x.latency } :: merge_per_file xs' ys
+      else { y with latency = copy_stats y.latency } :: merge_per_file xs ys'
+
+let merge a b =
+  {
+    requests = a.requests + b.requests;
+    completed = a.completed + b.completed;
+    missed = a.missed + b.missed;
+    latency = merge_stats a.latency b.latency;
+    losses = a.losses + b.losses;
+    per_file = merge_per_file a.per_file b.per_file;
+  }

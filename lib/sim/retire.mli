@@ -49,6 +49,13 @@ type row = {
   losses : int;  (** total own-file losses across the [weight] clients *)
 }
 
+val merge : result -> result -> result
+(** Combine two results as if their rows had been retired in sequence
+    (first [a]'s, then [b]'s): counts add, latency accumulators absorb in
+    that order, per-file lists merge-join by id. Used by the multi-channel
+    engine to fold K per-channel results into one. Pure — no obs
+    recording (each half already recorded when it retired). *)
+
 val retire : sinks:sinks -> row list -> result
 (** Fold rows in order into a {!result}, recording into [sinks] when
     {!Pindisk_obs.Control.enabled}. [elapsed > deadline] counts the row

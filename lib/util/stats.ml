@@ -42,6 +42,16 @@ let add t x =
   push t x 1;
   t.sum <- t.sum +. x
 
+let absorb t other =
+  if t == other then invalid_arg "Stats.absorb: cannot absorb into itself";
+  for i = 0 to other.len - 1 do
+    let x = other.values.(i) and w = other.weights.(i) in
+    if w > 0 then begin
+      push t x w;
+      t.sum <- t.sum +. (if w = 1 then x else float_of_int w *. x)
+    end
+  done
+
 let add_weighted t x w =
   if w < 0 then invalid_arg "Stats.add_weighted: negative weight";
   if w > 0 then begin

@@ -14,6 +14,13 @@ val create : unit -> t
 val add : t -> float -> unit
 val add_int : t -> int -> unit
 
+val absorb : t -> t -> unit
+(** [absorb t other] appends [other]'s recorded multiset into [t] in
+    [other]'s insertion order — equivalent to replaying [other]'s
+    [add_weighted] calls against [t] (same float accumulation), so
+    absorbing engines' accumulators in a fixed order is deterministic.
+    [other] is unchanged. Raises [Invalid_argument] when [t == other]. *)
+
 val add_weighted : t -> float -> int -> unit
 (** [add_weighted t x w] records [w] copies of [x] in O(1). A weight of
     [0] is a no-op; negative weights raise [Invalid_argument]. With

@@ -107,10 +107,29 @@ let cohort_checks =
       floor = Some 1.0; gate_vs_baseline = false; requires = None };
   ]
 
+(* Multichannel floors come from the E24 acceptance criteria: four
+   channels must serve >= 3x the files one channel serves (capacity
+   scaling is the whole point of sharding), every sharded design must
+   certify through Shardcheck (per-channel witnesses, cover,
+   disjointness), and the K = 1 design must be byte-identical to the
+   single-channel pipeline. All three are slot-domain deterministic, so
+   they gate identically on any runner; raw clients/sec is reported in
+   the artifact but never gated. *)
+let multichannel_checks =
+  [
+    { metric = "aggregate_files_k4_over_k1"; dir = Higher_is_better;
+      floor = Some 3.0; gate_vs_baseline = true; requires = None };
+    { metric = "shard_coverage_ok"; dir = Higher_is_better;
+      floor = Some 1.0; gate_vs_baseline = false; requires = None };
+    { metric = "k1_identity_ok"; dir = Higher_is_better;
+      floor = Some 1.0; gate_vs_baseline = false; requires = None };
+  ]
+
 let usage () =
   prerr_endline
-    "usage: bench_gate --kind sched|codec|chaos|cohort --fresh F --baseline B \
-     --summary OUT.md [--append] [--tolerance R] [--inject-slowdown F]";
+    "usage: bench_gate --kind sched|codec|chaos|cohort|multichannel --fresh F \
+     --baseline B --summary OUT.md [--append] [--tolerance R] \
+     [--inject-slowdown F]";
   exit 2
 
 let parse_args () =
@@ -166,6 +185,7 @@ let () =
     | "codec" -> codec_checks
     | "chaos" -> chaos_checks
     | "cohort" -> cohort_checks
+    | "multichannel" -> multichannel_checks
     | k -> Printf.eprintf "bench_gate: unknown kind %s\n" k; usage ()
   in
   let fresh = load fresh_p and base = load base_p in
